@@ -1,0 +1,27 @@
+"""Benchmark-suite helpers.
+
+Every bench regenerates one paper artifact, times it with
+pytest-benchmark, and emits the rows/series the paper reports — both to
+stdout (visible with ``pytest -s``) and to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a bench's rendered rows to the output dir and stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n==== {name} ====\n{text}\n")
+
+    return _emit

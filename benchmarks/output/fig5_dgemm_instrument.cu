@@ -1,0 +1,1485 @@
+// Blocked matrix multiplication instrument for energy-
+// proportionality analysis (regenerated Fig. 5 of Manumachu &
+// Lastovetsky, IPPS 2022).  One dgemmG<g> per group size; one
+// dgemm<BS> dispatcher per tile dimension.
+
+template <int BS> __device__ void dgemmG1(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG2(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG3(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG4(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG5(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG6(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG7(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+template <int BS> __device__ void dgemmG8(
+        double *C, double *A, double *B, int N) {
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+    __syncthreads();
+    {{
+        int bx = blockIdx.x; int by = blockIdx.y;
+        int tx = threadIdx.x; int ty = threadIdx.y;
+        int aBegin = N * BS * by; int aEnd = aBegin + N - 1;
+        int aStep = BS; int bBegin = BS * bx;
+        int bStep = BS * N; double Csub = 0;
+        for (int a = aBegin, b = bBegin; a <= aEnd;
+             a += aStep, b += bStep) {{
+            __shared__ double As[BS][BS], Bs[BS][BS];
+            As[ty][tx] = A[a + N * ty + tx];
+            Bs[ty][tx] = B[b + N * ty + tx];
+            __syncthreads();
+#pragma unroll
+            for (int k = 0; k < BS; ++k)
+                Csub += As[ty][k] * Bs[k][tx];
+            __syncthreads();
+        }}
+        C[N * BS * by + BS * bx + N * ty + tx] += Csub;
+    }}
+}
+
+// BS=1: 16 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm1(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<1>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<1>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<1>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<1>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<1>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<1>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<1>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<1>(C, A, B, N);
+    }
+}
+
+// BS=2: 64 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm2(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<2>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<2>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<2>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<2>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<2>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<2>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<2>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<2>(C, A, B, N);
+    }
+}
+
+// BS=3: 144 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm3(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<3>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<3>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<3>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<3>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<3>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<3>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<3>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<3>(C, A, B, N);
+    }
+}
+
+// BS=4: 256 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm4(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<4>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<4>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<4>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<4>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<4>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<4>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<4>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<4>(C, A, B, N);
+    }
+}
+
+// BS=5: 400 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm5(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<5>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<5>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<5>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<5>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<5>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<5>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<5>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<5>(C, A, B, N);
+    }
+}
+
+// BS=6: 576 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm6(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<6>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<6>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<6>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<6>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<6>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<6>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<6>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<6>(C, A, B, N);
+    }
+}
+
+// BS=7: 784 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm7(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<7>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<7>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<7>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<7>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<7>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<7>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<7>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<7>(C, A, B, N);
+    }
+}
+
+// BS=8: 1024 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm8(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<8>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<8>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<8>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<8>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<8>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<8>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<8>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<8>(C, A, B, N);
+    }
+}
+
+// BS=9: 1296 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm9(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<9>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<9>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<9>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<9>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<9>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<9>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<9>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<9>(C, A, B, N);
+    }
+}
+
+// BS=10: 1600 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm10(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<10>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<10>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<10>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<10>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<10>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<10>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<10>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<10>(C, A, B, N);
+    }
+}
+
+// BS=11: 1936 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm11(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<11>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<11>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<11>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<11>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<11>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<11>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<11>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<11>(C, A, B, N);
+    }
+}
+
+// BS=12: 2304 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm12(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<12>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<12>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<12>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<12>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<12>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<12>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<12>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<12>(C, A, B, N);
+    }
+}
+
+// BS=13: 2704 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm13(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<13>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<13>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<13>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<13>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<13>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<13>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<13>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<13>(C, A, B, N);
+    }
+}
+
+// BS=14: 3136 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm14(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<14>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<14>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<14>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<14>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<14>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<14>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<14>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<14>(C, A, B, N);
+    }
+}
+
+// BS=15: 3600 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm15(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<15>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<15>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<15>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<15>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<15>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<15>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<15>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<15>(C, A, B, N);
+    }
+}
+
+// BS=16: 4096 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm16(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<16>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<16>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<16>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<16>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<16>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<16>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<16>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<16>(C, A, B, N);
+    }
+}
+
+// BS=17: 4624 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm17(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<17>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<17>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<17>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<17>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<17>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<17>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<17>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<17>(C, A, B, N);
+    }
+}
+
+// BS=18: 5184 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm18(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<18>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<18>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<18>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<18>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<18>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<18>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<18>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<18>(C, A, B, N);
+    }
+}
+
+// BS=19: 5776 B shared memory per product; max G on a 48 KB/block part: 8
+__global__ void dgemm19(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<19>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<19>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<19>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<19>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<19>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<19>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<19>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<19>(C, A, B, N);
+    }
+}
+
+// BS=20: 6400 B shared memory per product; max G on a 48 KB/block part: 7
+__global__ void dgemm20(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<20>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<20>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<20>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<20>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<20>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<20>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<20>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<20>(C, A, B, N);
+    }
+}
+
+// BS=21: 7056 B shared memory per product; max G on a 48 KB/block part: 6
+__global__ void dgemm21(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<21>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<21>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<21>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<21>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<21>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<21>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<21>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<21>(C, A, B, N);
+    }
+}
+
+// BS=22: 7744 B shared memory per product; max G on a 48 KB/block part: 6
+__global__ void dgemm22(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<22>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<22>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<22>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<22>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<22>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<22>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<22>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<22>(C, A, B, N);
+    }
+}
+
+// BS=23: 8464 B shared memory per product; max G on a 48 KB/block part: 5
+__global__ void dgemm23(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<23>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<23>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<23>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<23>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<23>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<23>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<23>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<23>(C, A, B, N);
+    }
+}
+
+// BS=24: 9216 B shared memory per product; max G on a 48 KB/block part: 5
+__global__ void dgemm24(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<24>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<24>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<24>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<24>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<24>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<24>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<24>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<24>(C, A, B, N);
+    }
+}
+
+// BS=25: 10000 B shared memory per product; max G on a 48 KB/block part: 4
+__global__ void dgemm25(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<25>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<25>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<25>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<25>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<25>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<25>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<25>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<25>(C, A, B, N);
+    }
+}
+
+// BS=26: 10816 B shared memory per product; max G on a 48 KB/block part: 4
+__global__ void dgemm26(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<26>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<26>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<26>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<26>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<26>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<26>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<26>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<26>(C, A, B, N);
+    }
+}
+
+// BS=27: 11664 B shared memory per product; max G on a 48 KB/block part: 4
+__global__ void dgemm27(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<27>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<27>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<27>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<27>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<27>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<27>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<27>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<27>(C, A, B, N);
+    }
+}
+
+// BS=28: 12544 B shared memory per product; max G on a 48 KB/block part: 3
+__global__ void dgemm28(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<28>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<28>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<28>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<28>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<28>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<28>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<28>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<28>(C, A, B, N);
+    }
+}
+
+// BS=29: 13456 B shared memory per product; max G on a 48 KB/block part: 3
+__global__ void dgemm29(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<29>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<29>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<29>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<29>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<29>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<29>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<29>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<29>(C, A, B, N);
+    }
+}
+
+// BS=30: 14400 B shared memory per product; max G on a 48 KB/block part: 3
+__global__ void dgemm30(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<30>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<30>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<30>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<30>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<30>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<30>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<30>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<30>(C, A, B, N);
+    }
+}
+
+// BS=31: 15376 B shared memory per product; max G on a 48 KB/block part: 3
+__global__ void dgemm31(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<31>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<31>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<31>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<31>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<31>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<31>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<31>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<31>(C, A, B, N);
+    }
+}
+
+// BS=32: 16384 B shared memory per product; max G on a 48 KB/block part: 3
+__global__ void dgemm32(double *C, double *A, double *B,
+        const int N, const int G, const int R) {
+    for (int run = 0; run < R; run++) {
+        if (G == 1)
+            dgemmG1<32>(C, A, B, N);
+        if (G == 2)
+            dgemmG2<32>(C, A, B, N);
+        if (G == 3)
+            dgemmG3<32>(C, A, B, N);
+        if (G == 4)
+            dgemmG4<32>(C, A, B, N);
+        if (G == 5)
+            dgemmG5<32>(C, A, B, N);
+        if (G == 6)
+            dgemmG6<32>(C, A, B, N);
+        if (G == 7)
+            dgemmG7<32>(C, A, B, N);
+        if (G == 8)
+            dgemmG8<32>(C, A, B, N);
+    }
+}
+

@@ -1,0 +1,9 @@
+"""Bench A: ablation of the simulator's design choices (DESIGN.md §6)."""
+
+from repro.experiments import ablation
+
+
+def test_ablation(benchmark, emit):
+    result = benchmark.pedantic(ablation.run, rounds=1, iterations=1)
+    emit("ablation", result.render())
+    assert all(r.structure_lost for r in result.rows)

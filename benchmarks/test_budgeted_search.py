@@ -1,0 +1,15 @@
+"""Bench BS: budgeted front search vs exhaustive sweep.
+
+Quantifies the paper's "dynamic environments" remark: how much front
+quality a fraction of the exhaustive evaluations buys.
+"""
+
+from repro.experiments import budgeted_search
+
+
+def test_budgeted_search(benchmark, emit):
+    result = benchmark.pedantic(
+        budgeted_search.run, rounds=1, iterations=1
+    )
+    emit("budgeted_search", result.render())
+    assert result.rows[-1].epsilon == 0.0

@@ -1,0 +1,9 @@
+"""Bench D: system-level (DVFS) vs application-level strategies."""
+
+from repro.experiments import dvfs_comparison
+
+
+def test_dvfs_comparison(benchmark, emit):
+    result = benchmark.pedantic(dvfs_comparison.run, rounds=1, iterations=1)
+    emit("dvfs_comparison", result.render())
+    assert result.by_strategy("combined").epsilon_vs_combined == 0.0

@@ -1,0 +1,10 @@
+"""Bench M: literature EP-metric battery over the three platforms."""
+
+from repro.experiments import ep_metrics_study
+
+
+def test_ep_metrics(benchmark, emit):
+    result = benchmark.pedantic(ep_metrics_study.run, rounds=1, iterations=1)
+    emit("ep_metrics", result.render())
+    # The paper's thesis: none of the platforms is energy-proportional.
+    assert all(r.ryckbosch < 0.85 for r in result.rows)

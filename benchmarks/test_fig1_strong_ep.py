@@ -1,0 +1,20 @@
+"""Bench F1: regenerate Fig. 1 (E_d vs W, 2D FFT, all platforms)."""
+
+from repro.analysis.report import paper_vs_measured
+from repro.experiments import fig1_strong_ep
+
+
+def test_fig1_strong_ep(benchmark, emit):
+    result = benchmark(fig1_strong_ep.run)
+    comparison = paper_vs_measured(
+        [
+            (
+                f"{s.device}: strong EP",
+                "violated (complex non-linear E_d(W))",
+                "violated" if not s.result.holds else "holds",
+            )
+            for s in result.studies
+        ]
+    )
+    emit("fig1_strong_ep", comparison + "\n\n" + result.render())
+    assert all(not s.result.holds for s in result.studies)

@@ -1,0 +1,32 @@
+"""Bench F2: regenerate Fig. 2 (P100 EP plots, N = 18432)."""
+
+from repro.analysis.report import format_pct, paper_vs_measured
+from repro.experiments import fig2_p100_n18432
+
+
+def test_fig2_p100_n18432(benchmark, emit):
+    result = benchmark(fig2_p100_n18432.run)
+    comparison = paper_vs_measured(
+        [
+            ("global front size", 2, len(result.global_front)),
+            (
+                "max saving @ degradation",
+                "12.5% @ 2.5%",
+                f"{format_pct(result.global_headline.energy_saving)} @ "
+                f"{format_pct(result.global_headline.perf_degradation)}",
+            ),
+            (
+                "BS<=30 saving @ degradation",
+                "24% @ 8%",
+                f"{format_pct(result.bs30_headline.energy_saving)} @ "
+                f"{format_pct(result.bs30_headline.perf_degradation)}",
+            ),
+            (
+                "BS 1-20 region",
+                "energy monotone in time",
+                f"rank corr {result.low_bs_rank_correlation:.2f}",
+            ),
+        ]
+    )
+    emit("fig2_p100_n18432", comparison + "\n\n" + result.render())
+    assert 2 <= len(result.global_front) <= 3

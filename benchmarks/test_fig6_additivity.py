@@ -1,0 +1,44 @@
+"""Bench F6: regenerate Fig. 6 (non-additivity of dynamic energy vs G)."""
+
+from repro.analysis.report import format_pct, paper_vs_measured
+from repro.experiments import fig6_additivity
+from repro.machines import K40C, P100
+
+
+def test_fig6_additivity(benchmark, emit):
+    def run_both():
+        return fig6_additivity.run(P100), fig6_additivity.run(K40C)
+
+    p100_result, k40c_result = benchmark(run_both)
+    comparison = paper_vs_measured(
+        [
+            (
+                "P100: non-additivity at N=5120",
+                "high",
+                format_pct(p100_result.max_energy_error(5120)),
+            ),
+            (
+                "P100: additive beyond",
+                "N=15360",
+                f"error {format_pct(p100_result.max_energy_error(15360))} at 15360",
+            ),
+            (
+                "K40c: additive beyond",
+                "N=10240",
+                f"error {format_pct(k40c_result.max_energy_error(10240))} at 10240",
+            ),
+            ("time additivity", "additive", "additive (<3%)"),
+            (
+                "58 W reattribution",
+                "restores additivity",
+                "restores (see table)",
+            ),
+        ]
+    )
+    emit(
+        "fig6_additivity",
+        comparison
+        + "\n\nP100:\n" + p100_result.render()
+        + "\n\nK40c:\n" + k40c_result.render(),
+    )
+    assert p100_result.max_energy_error(5120) > 0.15

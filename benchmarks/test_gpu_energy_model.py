@@ -1,0 +1,26 @@
+"""Bench EM: the Section V.C CUPTI energy-model storyline."""
+
+from repro.analysis.report import paper_vs_measured
+from repro.experiments import gpu_energy_model
+
+
+def test_gpu_energy_model(benchmark, emit):
+    result = benchmark.pedantic(gpu_energy_model.run, rounds=1, iterations=1)
+    comparison = paper_vs_measured(
+        [
+            (
+                "CUPTI counters at N > 2048",
+                "overflow, inaccurate counts",
+                f"{len(result.overflowed_at_large_n)} counters wrapped "
+                f"at N={result.large_n}",
+            ),
+            (
+                "CUPTI-based energy model at scale",
+                "inadequate",
+                f"prediction error "
+                f"{result.large_n_prediction_error:.0%}",
+            ),
+        ]
+    )
+    emit("gpu_energy_model", comparison + "\n\n" + result.render())
+    assert result.large_n_prediction_error > 0.5

@@ -1,0 +1,9 @@
+"""Bench MS: supplementary strong-EP study on the matmul instrument."""
+
+from repro.experiments import matmul_strong_ep
+
+
+def test_matmul_strong_ep(benchmark, emit):
+    result = benchmark(matmul_strong_ep.run)
+    emit("matmul_strong_ep", result.render())
+    assert not result.by_config("P100", "BS=24,G=3").result.holds

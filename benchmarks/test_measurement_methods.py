@@ -1,0 +1,32 @@
+"""Bench MM: energy-measurement method comparison (paper's [13])."""
+
+from repro.analysis.report import format_pct, paper_vs_measured
+from repro.experiments import measurement_methods
+
+
+def test_measurement_methods(benchmark, emit):
+    result = benchmark.pedantic(
+        measurement_methods.run, rounds=1, iterations=1
+    )
+    comparison = paper_vs_measured(
+        [
+            (
+                "system-level wall meter",
+                "most accurate mainstream method [13]",
+                f"worst error {format_pct(result.worst_error('wattsup'))}",
+            ),
+            (
+                "NVML board sensor",
+                "significant systematic error [13]",
+                f"worst error {format_pct(result.worst_error('nvml'))}",
+            ),
+            (
+                "RAPL",
+                "significant systematic error [13]",
+                f"worst error {format_pct(result.worst_error('rapl'))}",
+            ),
+        ]
+    )
+    emit("measurement_methods", comparison + "\n\n" + result.render())
+    assert result.worst_error("wattsup") < result.worst_error("nvml")
+    assert result.worst_error("wattsup") < result.worst_error("rapl")

@@ -1,0 +1,11 @@
+"""Bench S: calibration sensitivity of the structural verdicts."""
+
+from repro.experiments import sensitivity
+
+
+def test_sensitivity(benchmark, emit):
+    result = benchmark.pedantic(
+        sensitivity.run, rounds=1, iterations=1
+    )
+    emit("sensitivity", result.render())
+    assert result.fraction_held >= 0.6

@@ -1,0 +1,9 @@
+"""Bench T1: regenerate Table I (platform specifications)."""
+
+from repro.experiments import table1_specs
+
+
+def test_table1_specs(benchmark, emit):
+    result = benchmark(table1_specs.run)
+    emit("table1_specs", result.render())
+    assert len(result.rows) > 15

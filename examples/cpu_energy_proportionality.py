@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CPU energy-nonproportionality study (paper Section III / Fig. 4).
+
+Sweeps (partitioning, threadgroups, threads/group) configurations of
+the parallel DGEMM on the simulated dual-socket Haswell, then:
+
+1. shows dynamic power is *nonfunctional* in average CPU utilization
+   (pairs of configurations with equal utilization and very different
+   power — the paper's points on lines C and D);
+2. scores the platform with the literature's EP metrics;
+3. connects the observation to the paper's two-core theory: utilization
+   imbalance alone raises dynamic energy.
+
+Run:  python examples/cpu_energy_proportionality.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.apps import DGEMMCPUApp
+from repro.core import TwoCoreModel, ryckbosch_ep, wong_annavaram_pr
+from repro.experiments.fig4_cpu_utilization import nonfunctionality_witnesses
+from repro.machines import HASWELL
+
+
+def main() -> None:
+    n = 17408
+    app = DGEMMCPUApp(HASWELL)
+    results = app.sweep(n, "mkl")
+    print(f"{len(results)} MKL DGEMM configurations, N={n}\n")
+
+    # 1. Nonfunctional power vs utilization.
+    witnesses = nonfunctionality_witnesses(results)
+    rows = []
+    for a, b in witnesses[:6]:
+        rows.append(
+            (
+                f"{a.config.partition} p={a.config.groups} t={a.config.threads_per_group}",
+                f"{a.avg_utilization:.1f}",
+                f"{a.power.dynamic_w:.1f}",
+                f"{b.config.partition} p={b.config.groups} t={b.config.threads_per_group}",
+                f"{b.avg_utilization:.1f}",
+                f"{b.power.dynamic_w:.1f}",
+            )
+        )
+    print("Same average utilization, different dynamic power "
+          f"({len(witnesses)} witness pairs; first 6):")
+    print(
+        format_table(
+            ["config A", "util%", "P (W)", "config B", "util%", "P (W)"],
+            rows,
+        )
+    )
+
+    # 2. EP metrics over the utilization-power cloud (upper envelope).
+    util = np.array([r.avg_utilization / 100.0 for r in results])
+    power = np.array([r.power.dynamic_w for r in results])
+    order = np.argsort(util)
+    print("\nLiterature EP metrics on the measured cloud:")
+    print(f"  Ryckbosch EP        = {ryckbosch_ep(util[order], power[order]):.3f}")
+    print(f"  Wong-Annavaram PR   = {wong_annavaram_pr(util[order], power[order]):.3f}")
+
+    # 3. The theory's explanation.
+    print("\nSection III theory (two homogeneous cores, a=b=1):")
+    m = TwoCoreModel(a=1.0, b=1.0)
+    e1, e2, e3 = m.inequality_chain(0.5, 0.2)
+    print(f"  balanced (U=0.5):                E1 = {e1:.3f}")
+    print(f"  one core raised (+0.2):          E2 = {e2:.3f}  (same speed!)")
+    print(f"  raised & lowered (same avg U):   E3 = {e3:.3f}  (slower too)")
+    print("  => any utilization imbalance strictly increases dynamic "
+          "energy, breaking the simple EP model.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""GPU weak-EP study: global vs local Pareto fronts across workloads.
+
+Reproduces the paper's Section V.B analysis on both simulated GPUs:
+
+* the K40c's global front collapses to a single BS=32 point for every
+  workload — optimizing for performance optimizes for energy — while
+  its BS ≤ 31 sub-space holds multi-point *local* fronts;
+* the P100's global fronts have 2+ points: genuine application-level
+  bi-objective optimization.
+
+Run:  python examples/gpu_pareto_analysis.py
+"""
+
+from repro.analysis.ep_analysis import weak_ep_study
+from repro.analysis.report import format_pct, format_table
+from repro.apps import MatmulGPUApp
+from repro.machines import K40C, P100
+
+
+def study_device(spec, sizes):
+    print(f"\n===== {spec.name} =====")
+    app = MatmulGPUApp(spec)
+    rows = []
+    for n in sizes:
+        points = app.sweep_points(n)
+        study = weak_ep_study(
+            spec.name, n, points, region=lambda p: p.config["bs"] <= 31
+        )
+        rows.append(
+            (
+                n,
+                "violated" if not study.weak_ep.holds else "holds",
+                format_pct(study.weak_ep.max_relative_spread),
+                len(study.front),
+                len(study.local_front),
+                format_pct(study.headline.energy_saving),
+                format_pct(study.local_headline.energy_saving),
+            )
+        )
+    print(
+        format_table(
+            [
+                "N",
+                "weak EP",
+                "energy spread",
+                "global front",
+                "local front",
+                "global saving",
+                "local saving",
+            ],
+            rows,
+        )
+    )
+
+
+def main() -> None:
+    study_device(K40C, [6144, 8704, 10240])
+    study_device(P100, [8192, 10240, 14336, 18432])
+    print(
+        "\nReading: the K40c's single-point global fronts mean the fast "
+        "config is also the frugal one; the P100's multi-point fronts "
+        "are the bi-objective optimization opportunity the paper reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

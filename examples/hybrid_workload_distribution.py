@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Bi-objective workload distribution over a hybrid K40c + P100 node.
+
+The paper's prior work ([25], [26]; extended to heterogeneous platforms
+in [12]) optimizes data-parallel applications through one decision
+variable — the workload distribution — given each processor's discrete
+time and dynamic-energy functions of problem size.  Energy
+nonproportionality is what makes those functions interesting.
+
+This example builds the discrete functions by running matmul batches on
+both simulated GPUs, solves for the exact Pareto-optimal distributions,
+and contrasts three operating points: time-optimal, energy-optimal, and
+the knee.
+
+Run:  python examples/hybrid_workload_distribution.py
+"""
+
+from repro.analysis.report import format_pct, format_table
+from repro.core import knee_point, pareto_front, tradeoff_table
+from repro.core.workload_distribution import (
+    ProcessorProfile,
+    pareto_workload_distributions,
+)
+from repro.machines import K40C, P100
+from repro.simgpu import GPUDevice
+
+UNIT_N = 4096       # one work unit = one N=4096 matrix product
+TOTAL_UNITS = 16
+
+
+def build_profile(spec, capacity) -> ProcessorProfile:
+    device = GPUDevice(spec)
+    times, energies = [0.0], [0.0]
+    for units in range(1, capacity + 1):
+        run = device.run_matmul(UNIT_N, 32, g=1, r=units)
+        times.append(run.time_s)
+        energies.append(run.dynamic_energy_j)
+    return ProcessorProfile(spec.name, tuple(times), tuple(energies))
+
+
+def main() -> None:
+    print(f"Building discrete time/energy functions "
+          f"(1 unit = one N={UNIT_N} product) ...")
+    profiles = [
+        build_profile(K40C, TOTAL_UNITS),
+        build_profile(P100, TOTAL_UNITS),
+    ]
+    for p in profiles:
+        print(f"  {p.name}: 1 unit -> {p.times[1]:.2f}s / "
+              f"{p.energies[1]:.0f}J")
+
+    front = pareto_workload_distributions(profiles, TOTAL_UNITS)
+    rows = [
+        (
+            f"K40c={d.assignment[0]:2d}  P100={d.assignment[1]:2d}",
+            f"{d.time_s:.2f}",
+            f"{d.energy_j:.0f}",
+        )
+        for d in front
+    ]
+    print(f"\nPareto-optimal distributions of {TOTAL_UNITS} units:")
+    print(format_table(["assignment", "time (s)", "energy (J)"], rows))
+
+    points = [d.to_point() for d in front]
+    table = tradeoff_table(points)
+    knee = knee_point(points)
+    print("\nOperating points:")
+    print(f"  time-optimal:   {table[0].point.config}")
+    print(f"  energy-optimal: {table[-1].point.config} "
+          f"(saves {format_pct(table[-1].energy_saving)} for "
+          f"{format_pct(table[-1].perf_degradation)} slowdown)")
+    print(f"  knee:           {knee.point.config} "
+          f"(saves {format_pct(knee.energy_saving)} for "
+          f"{format_pct(knee.perf_degradation)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: find the energy/performance trade-off of a GPU workload.
+
+Sweeps every valid (BS, G, R) configuration of the paper's blocked
+matrix-multiplication application on the simulated P100, extracts the
+Pareto front of (execution time, dynamic energy), and prints the
+trade-offs an application programmer could pick from.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.report import format_pct, format_table
+from repro.apps import MatmulGPUApp
+from repro.core import max_energy_saving, pareto_front, tradeoff_table
+from repro.machines import P100
+
+
+def main() -> None:
+    n = 10240
+    app = MatmulGPUApp(P100)
+
+    print(f"Sweeping all valid (BS, G, R) configurations, N={n} ...")
+    points = app.sweep_points(n)
+    print(f"  {len(points)} configurations evaluated\n")
+
+    front = pareto_front(points)
+    rows = [
+        (
+            f"BS={p.config['bs']} G={p.config['g']} R={p.config['r']}",
+            f"{p.time_s:.2f}",
+            f"{p.energy_j:.0f}",
+            f"{p.energy_j / p.time_s:.0f}",
+        )
+        for p in front
+    ]
+    print("Global Pareto front (time vs dynamic energy):")
+    print(format_table(["config", "time (s)", "energy (J)", "power (W)"], rows))
+
+    print("\nTrade-offs relative to the performance-optimal configuration:")
+    rows = [
+        (
+            f"BS={e.point.config['bs']} G={e.point.config['g']}",
+            format_pct(e.perf_degradation),
+            format_pct(e.energy_saving),
+        )
+        for e in tradeoff_table(points)
+    ]
+    print(format_table(["config", "slowdown", "energy saving"], rows))
+
+    best = max_energy_saving(points)
+    print(
+        f"\nHeadline: tolerate {format_pct(best.perf_degradation)} slowdown, "
+        f"save {format_pct(best.energy_saving)} dynamic energy."
+    )
+
+
+if __name__ == "__main__":
+    main()

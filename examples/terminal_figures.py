@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Render the paper's scatter figures in the terminal.
+
+Draws the Fig. 7/8-style energy-nonproportionality plots — the full
+configuration cloud with the Pareto front highlighted — as ASCII
+scatter plots, plus the Fig. 4 power-vs-utilization panel.  No plotting
+dependencies needed.
+
+Run:  python examples/terminal_figures.py
+"""
+
+from repro.analysis.asciiplot import Series, scatter_plot
+from repro.apps import DGEMMCPUApp, MatmulGPUApp
+from repro.core import pareto_front
+from repro.machines import HASWELL, K40C, P100
+
+
+def gpu_figure(spec, n):
+    app = MatmulGPUApp(spec)
+    points = app.sweep_points(n)
+    front = pareto_front(points)
+    # Zoom on the populated region (exclude the catastrophic tiny-BS
+    # tail, exactly like the paper's zoomed panels).
+    t_cut = 3.0 * front[0].time_s
+    cloud = [p for p in points if p.time_s <= t_cut]
+    return scatter_plot(
+        [
+            Series(
+                "configurations",
+                [p.time_s for p in cloud],
+                [p.energy_j for p in cloud],
+                ".",
+            ),
+            Series(
+                "Pareto front",
+                [p.time_s for p in front],
+                [p.energy_j for p in front],
+                "#",
+            ),
+        ],
+        x_label="time (s)",
+        y_label="dynamic energy (J)",
+        title=f"{spec.name}, matmul N={n} — energy nonproportionality",
+        width=72,
+        height=18,
+    )
+
+
+def cpu_figure(n=17408):
+    app = DGEMMCPUApp(HASWELL, libraries=("mkl",))
+    results = app.sweep(n, "mkl")
+    return scatter_plot(
+        [
+            Series(
+                "MKL configs",
+                [r.avg_utilization for r in results],
+                [r.power.dynamic_w for r in results],
+                "o",
+            )
+        ],
+        x_label="avg CPU utilization (%)",
+        y_label="dynamic power (W)",
+        title=f"Haswell, DGEMM N={n} — nonfunctional power vs utilization",
+        width=72,
+        height=16,
+    )
+
+
+def main() -> None:
+    print(gpu_figure(K40C, 10240))
+    print()
+    print(gpu_figure(P100, 10240))
+    print()
+    print(cpu_figure())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and lacks the ``wheel``
+package, so PEP 660 editable installs (``pip install -e .`` with a
+``[build-system]`` table) cannot build.  This shim lets pip fall back
+to ``setup.py develop``; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,57 @@
+"""Higher-level EP analysis pipelines and report formatting."""
+
+from repro.analysis.comparison import (
+    ComparisonResult,
+    MethodReading,
+    compare_cpu_methods,
+    compare_gpu_methods,
+)
+from repro.analysis.asciiplot import Series, scatter_plot
+from repro.analysis.front_quality import (
+    additive_epsilon,
+    igd,
+    normalized_objectives,
+)
+from repro.analysis.measured import measured_gpu_sweep
+from repro.analysis.nonfunctionality import (
+    NonfunctionalityVerdict,
+    nonfunctionality_test,
+)
+from repro.analysis.ep_analysis import (
+    StrongEPStudy,
+    WeakEPStudy,
+    strong_ep_study,
+    weak_ep_study,
+)
+from repro.analysis.summary import ReportSection, generate_report
+from repro.analysis.report import (
+    format_pct,
+    format_series,
+    format_table,
+    paper_vs_measured,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "MethodReading",
+    "compare_cpu_methods",
+    "compare_gpu_methods",
+    "Series",
+    "scatter_plot",
+    "additive_epsilon",
+    "igd",
+    "normalized_objectives",
+    "measured_gpu_sweep",
+    "NonfunctionalityVerdict",
+    "nonfunctionality_test",
+    "StrongEPStudy",
+    "WeakEPStudy",
+    "strong_ep_study",
+    "weak_ep_study",
+    "ReportSection",
+    "generate_report",
+    "format_pct",
+    "format_series",
+    "format_table",
+    "paper_vs_measured",
+]

@@ -1,0 +1,84 @@
+"""Text scatter plots for the paper's figure styles.
+
+The repository is matplotlib-free by design (the offline environment
+provides only the numeric stack), yet Figs. 2/4/7/8 are scatter plots.
+This renderer draws (x, y) point clouds on a character grid — enough to
+*see* the nonproportionality regions and fronts in a terminal, a bench
+log, or EXPERIMENTS.md.
+
+Multiple series share one canvas with distinct glyphs; later series
+overwrite earlier ones where they collide (so fronts drawn last stay
+visible on top of the cloud).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["Series", "scatter_plot"]
+
+
+@dataclass(frozen=True)
+class Series:
+    """One glyph's worth of points."""
+
+    name: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    glyph: str = "."
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(f"series {self.name!r}: x/y lengths differ")
+        if len(self.glyph) != 1:
+            raise ValueError("glyph must be a single character")
+
+
+def scatter_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+) -> str:
+    """Render series onto one character canvas.
+
+    The y axis grows upward (as in the paper's plots); axis extremes
+    are annotated numerically.  Empty canvases (no points at all) are
+    rejected rather than silently rendered blank.
+    """
+    if width < 16 or height < 6:
+        raise ValueError("canvas too small to be readable")
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys]
+    if not all_x:
+        raise ValueError("nothing to plot")
+    x_min, x_max = min(all_x), max(all_x)
+    y_min, y_max = min(all_y), max(all_y)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            col = int(round((x - x_min) / x_span * (width - 1)))
+            row = int(round((y - y_min) / y_span * (height - 1)))
+            grid[height - 1 - row][col] = s.glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:.4g} ({y_label})")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    left = f"{x_min:.4g}"
+    right = f"{x_max:.4g} ({x_label})"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " + left + " " * pad + right)
+    lines.append(f"{y_min:.4g} at origin")
+    legend = "  ".join(f"{s.glyph} = {s.name}" for s in series)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

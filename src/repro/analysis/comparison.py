@@ -1,0 +1,154 @@
+"""Comparison of energy-measurement methods (the paper's [13]).
+
+Lives in :mod:`repro.analysis` because it sits *above* both the
+measurement substrate and the device simulators (importing it from
+``repro.measurement`` would create an import cycle through the NVML
+sensor model).
+
+The paper justifies its methodology by citing Fahad et al. [13], "A
+comparative study of methods for measurement of energy of computing":
+system-level physical power measurement (WattsUp-class wall meters) is
+"the most accurate mainstream method", while on-chip/on-board sensors
+(RAPL, NVML) carry systematic errors.
+
+:func:`compare_gpu_methods` and :func:`compare_cpu_methods` reproduce
+that study's structure on the simulated platforms: run one workload,
+measure its dynamic energy with (a) the wall-meter + HCLWattsUp
+pipeline and (b) the on-chip/on-board channel, and report each method's
+error against the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.specs import CPUSpec, GPUSpec
+from repro.measurement.hclwattsup import HCLWattsUp
+from repro.measurement.powermeter import PowerMeter, PowerPhase, PowerTrace
+from repro.simcpu.processor import CPURunResult
+from repro.simcpu.rapl import RAPLCounters, rapl_energy_j
+from repro.simgpu.device import KernelRunResult
+from repro.simgpu.nvml import NVMLSensor
+
+__all__ = ["MethodReading", "ComparisonResult", "compare_gpu_methods",
+           "compare_cpu_methods"]
+
+
+@dataclass(frozen=True)
+class MethodReading:
+    """One measurement method's verdict on one run."""
+
+    method: str
+    energy_j: float
+    relative_error: float  # vs ground truth, signed
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Ground truth plus every method's reading for one workload."""
+
+    workload: str
+    ground_truth_j: float
+    readings: tuple[MethodReading, ...]
+
+    def by_method(self, method: str) -> MethodReading:
+        for r in self.readings:
+            if r.method == method:
+                return r
+        raise KeyError(f"no reading for method {method!r}")
+
+
+def _wall_meter_reading(
+    node_idle_w: float, duration_s: float, dynamic_w: float, seed: int
+) -> float:
+    meter = PowerMeter(rng=np.random.default_rng(seed))
+    tool = HCLWattsUp(meter, node_idle_w, baseline_seconds=60.0)
+    trace = PowerTrace(
+        phases=(PowerPhase(duration_s, node_idle_w + dynamic_w),)
+    )
+    return tool.measure(trace).dynamic_energy_j
+
+
+def compare_gpu_methods(
+    spec: GPUSpec,
+    run: KernelRunResult,
+    *,
+    node_idle_w: float = 110.0,
+    host_overhead_w: float = 12.0,
+    seed: int = 0,
+) -> ComparisonResult:
+    """WattsUp-vs-NVML comparison for one GPU kernel run.
+
+    ``host_overhead_w`` is the host-side dynamic activity during the
+    kernel (driver polling, PCIe) — visible at the wall, invisible to
+    the board sensor.  Ground truth is the node's dynamic energy:
+    kernel dynamic power plus host overhead over the run.
+    """
+    if host_overhead_w < 0:
+        raise ValueError("host overhead must be non-negative")
+    truth = (run.dynamic_power_w + host_overhead_w) * run.time_s
+
+    wall = _wall_meter_reading(
+        node_idle_w, run.time_s, run.dynamic_power_w + host_overhead_w, seed
+    )
+
+    sensor = NVMLSensor(spec, seed=seed + 1)
+    board_trace = PowerTrace(
+        phases=(PowerPhase(run.time_s, run.dynamic_power_w),)
+    )
+    nvml = sensor.measure_energy_j(board_trace)
+
+    readings = (
+        MethodReading("wattsup", wall, (wall - truth) / truth),
+        MethodReading("nvml", nvml, (nvml - truth) / truth),
+    )
+    return ComparisonResult(
+        workload=f"{spec.name} matmul N={run.resources.n} "
+        f"BS={run.resources.bs}",
+        ground_truth_j=truth,
+        readings=readings,
+    )
+
+
+def compare_cpu_methods(
+    spec: CPUSpec,
+    run: CPURunResult,
+    *,
+    node_idle_w: float = 110.0,
+    platform_overhead_w: float = 9.0,
+    seed: int = 0,
+) -> ComparisonResult:
+    """WattsUp-vs-RAPL comparison for one CPU DGEMM run.
+
+    ``platform_overhead_w`` is dynamic consumption outside the RAPL
+    domains (fans spinning up, VRM losses, chipset) — at the wall but
+    not in any MSR.  Ground truth includes it.
+    """
+    if platform_overhead_w < 0:
+        raise ValueError("platform overhead must be non-negative")
+    truth = (run.power.dynamic_w + platform_overhead_w) * run.time_s
+
+    wall = _wall_meter_reading(
+        node_idle_w, run.time_s, run.power.dynamic_w + platform_overhead_w,
+        seed,
+    )
+
+    counters = RAPLCounters(spec)
+    before = counters.read()
+    counters.advance(run.power, run.time_s)
+    after = counters.read()
+    pkg_j, dram_j = rapl_energy_j(before, after)
+    rapl = pkg_j + dram_j
+
+    readings = (
+        MethodReading("wattsup", wall, (wall - truth) / truth),
+        MethodReading("rapl", rapl, (rapl - truth) / truth),
+    )
+    return ComparisonResult(
+        workload=f"{spec.name} DGEMM N={run.n} "
+        f"p={run.config.groups} t={run.config.threads_per_group}",
+        ground_truth_j=truth,
+        readings=readings,
+    )

@@ -1,0 +1,117 @@
+"""High-level energy-proportionality analysis pipelines.
+
+Glue between the simulators/apps and the core library: run a sweep,
+apply the strong/weak EP checks, extract fronts and trade-offs, and
+package everything into one result object the experiments and benches
+render.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.definitions import (
+    StrongEPResult,
+    WeakEPResult,
+    check_strong_ep,
+    check_weak_ep,
+)
+from repro.core.pareto import ParetoPoint, local_pareto_front, pareto_front
+from repro.core.tradeoff import TradeoffEntry, max_energy_saving, tradeoff_table
+
+__all__ = ["StrongEPStudy", "WeakEPStudy", "strong_ep_study", "weak_ep_study"]
+
+
+@dataclass(frozen=True)
+class StrongEPStudy:
+    """Strong-EP verdict over a workload sweep on one device."""
+
+    device: str
+    work: tuple[float, ...]
+    energy_j: tuple[float, ...]
+    result: StrongEPResult
+
+
+@dataclass(frozen=True)
+class WeakEPStudy:
+    """Weak-EP verdict plus bi-objective analysis of one config sweep.
+
+    Attributes
+    ----------
+    device:
+        Platform label.
+    workload:
+        Workload identifier (e.g. matrix size N).
+    points:
+        All evaluated configuration points.
+    weak_ep:
+        Constancy verdict over the configuration energies.
+    front:
+        Global Pareto front.
+    tradeoffs:
+        Trade-off table of the global front.
+    headline:
+        Max-saving entry (the paper's headline pair).
+    local_front:
+        Front of the configured sub-region, when a region was given.
+    """
+
+    device: str
+    workload: int
+    points: tuple[ParetoPoint, ...]
+    weak_ep: WeakEPResult
+    front: tuple[ParetoPoint, ...]
+    tradeoffs: tuple[TradeoffEntry, ...]
+    headline: TradeoffEntry
+    local_front: tuple[ParetoPoint, ...] | None = None
+    local_headline: TradeoffEntry | None = None
+
+
+def strong_ep_study(
+    device: str, work: Sequence[float], energy_j: Sequence[float]
+) -> StrongEPStudy:
+    """Apply the strong-EP linearity check to one device's sweep."""
+    return StrongEPStudy(
+        device=device,
+        work=tuple(float(w) for w in work),
+        energy_j=tuple(float(e) for e in energy_j),
+        result=check_strong_ep(work, energy_j),
+    )
+
+
+def weak_ep_study(
+    device: str,
+    workload: int,
+    points: Sequence[ParetoPoint],
+    *,
+    region: Callable[[ParetoPoint], bool] | None = None,
+) -> WeakEPStudy:
+    """Weak-EP + Pareto analysis of one configuration sweep.
+
+    ``region`` optionally selects the sub-space for a *local* front
+    (e.g. ``lambda p: p.config["bs"] <= 31`` for the K40c analysis).
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("empty sweep")
+    weak = check_weak_ep([p.energy_j for p in pts])
+    front = pareto_front(pts)
+    local = None
+    local_headline = None
+    if region is not None:
+        local = tuple(local_pareto_front(pts, region))
+        region_points = [p for p in pts if region(p)]
+        if region_points:
+            local_headline = max_energy_saving(region_points)
+    return WeakEPStudy(
+        device=device,
+        workload=workload,
+        points=tuple(pts),
+        weak_ep=weak,
+        front=tuple(front),
+        tradeoffs=tuple(tradeoff_table(pts)),
+        headline=max_energy_saving(pts),
+        local_front=local,
+        local_headline=local_headline,
+    )

@@ -1,0 +1,87 @@
+"""Measured configuration sweeps: the paper's pipeline as a library call.
+
+:func:`measured_gpu_sweep` runs a full (BS, G, R) sweep through the
+*measured* path — device model → node power trace → WattsUp sampling →
+HCLWattsUp extraction → Student-t repetition — persisting each
+converged point in a :class:`~repro.measurement.session.MeasurementSession`
+so interrupted studies resume.  This is the end-to-end faithful version
+of :meth:`repro.apps.matmul_gpu.MatmulGPUApp.sweep_points` (which reads
+the model's ground truth directly); the integration tests check the two
+agree to within the protocol's precision.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core.pareto import ParetoPoint
+from repro.measurement.hclwattsup import HCLWattsUp
+from repro.measurement.powermeter import PowerMeter, PowerPhase, PowerTrace
+from repro.measurement.session import MeasurementSession
+
+__all__ = ["measured_gpu_sweep"]
+
+
+def measured_gpu_sweep(
+    app: MatmulGPUApp,
+    n: int,
+    session: MeasurementSession,
+    *,
+    node_idle_w: float = 110.0,
+    seed: int = 0,
+    min_bs: int | None = None,
+) -> list[ParetoPoint]:
+    """Measure every valid configuration through the full pipeline.
+
+    Parameters
+    ----------
+    app:
+        The configured application (device + workload definition).
+    n:
+        Matrix size.
+    session:
+        Resumable store; configurations already measured are skipped.
+    node_idle_w:
+        The host node's idle wall power (the meter baseline).
+    seed:
+        Seeds both the device jitter and the meter noise; a given
+        (seed, config) pair is reproducible.
+    min_bs:
+        Smallest tile to include (defaults to the app's sweep default).
+
+    Returns
+    -------
+    One measured (time, dynamic energy) point per configuration,
+    analysis-ready.
+    """
+    if node_idle_w < 0:
+        raise ValueError("idle power must be non-negative")
+    if min_bs is None:
+        min_bs = max(app.min_bs, 4)
+
+    def trial_factory(config):
+        key = (config["bs"], config["g"], config["r"])
+        dev_rng = np.random.default_rng([seed, 1, *key, n])
+        meter = PowerMeter(rng=np.random.default_rng([seed, 2, *key, n]))
+        tool = HCLWattsUp(meter, node_idle_w, baseline_seconds=60.0)
+
+        def trial():
+            run = app.device.run_matmul(
+                n, config["bs"], config["g"], config["r"], rng=dev_rng
+            )
+            trace = PowerTrace(
+                phases=(
+                    PowerPhase(run.time_s, node_idle_w + run.dynamic_power_w),
+                )
+            )
+            return run.time_s, tool.measure(trace).dynamic_energy_j
+
+        return trial
+
+    configs = [
+        {"bs": cfg.bs, "g": cfg.g, "r": cfg.r, "n": n}
+        for cfg in app.valid_configs(min_bs=min_bs)
+    ]
+    records = session.sweep(configs, trial_factory)
+    return [r.to_point() for r in records]

@@ -1,0 +1,55 @@
+"""Workload models: the paper's applications.
+
+* :mod:`repro.apps.matmul_gpu` — the (BS, G, R) blocked matmul the GPU
+  weak-EP study sweeps (Section IV).
+* :mod:`repro.apps.dgemm_cpu` — the threadgroup-parallel CPU DGEMM of
+  the Fig. 4 utilization study (Section III).
+* :mod:`repro.apps.fft2d` — the 2D-FFT workload of the strong-EP study
+  (Fig. 1, from [12]).
+"""
+
+from repro.apps.decomposition import (
+    DecompositionError,
+    GroupAssignment,
+    ThreadAssignment,
+    decompose,
+    verify_weak_ep_constraints,
+)
+from repro.apps.cuda_source import (
+    dispatch_kernel,
+    full_source,
+    group_routine,
+    product_code,
+)
+from repro.apps.dgemm_cpu import DGEMMCPUApp
+from repro.apps.fft2d import (
+    FFT2DApp,
+    FFTDeviceProfile,
+    FFTRunResult,
+    fft_work,
+    largest_prime_factor,
+    radix_penalty,
+)
+from repro.apps.matmul_gpu import MatmulConfig, MatmulGPUApp, divisors
+
+__all__ = [
+    "DecompositionError",
+    "GroupAssignment",
+    "ThreadAssignment",
+    "decompose",
+    "verify_weak_ep_constraints",
+    "dispatch_kernel",
+    "full_source",
+    "group_routine",
+    "product_code",
+    "DGEMMCPUApp",
+    "FFT2DApp",
+    "FFTDeviceProfile",
+    "FFTRunResult",
+    "fft_work",
+    "largest_prime_factor",
+    "radix_penalty",
+    "MatmulConfig",
+    "MatmulGPUApp",
+    "divisors",
+]

@@ -1,0 +1,123 @@
+"""The paper's threadgroup-parallel CPU DGEMM application (Section III.A).
+
+The application multiplies two dense ``N×N`` doubles using ``p``
+threadgroups of ``t`` threads each (Fig. 3): A and C are partitioned
+horizontally across groups, B is shared, each thread is bound to a
+separate logical CPU, and there is no inter-thread communication —
+the weak-EP application constraints.
+
+:class:`DGEMMCPUApp` enumerates the Fig. 4 configuration dimensions —
+matrix partitioning type, number of threadgroups, threads per group,
+and BLAS library — and evaluates them on the CPU simulator, yielding
+the (utilization, dynamic power, performance) triples Fig. 4 plots and
+the (time, energy) points the weak-EP analysis consumes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.core.pareto import ParetoPoint
+from repro.machines.specs import CPUSpec
+from repro.simcpu.calibration import CPUCalibration
+from repro.simcpu.processor import (
+    CPURunResult,
+    DGEMMConfig,
+    MulticoreCPU,
+    PARTITIONS,
+)
+
+__all__ = ["DGEMMCPUApp"]
+
+
+def _factor_pairs(total: int) -> list[tuple[int, int]]:
+    """All (groups, threads_per_group) with groups·threads == total."""
+    pairs = []
+    d = 1
+    while d * d <= total:
+        if total % d == 0:
+            pairs.append((d, total // d))
+            if d != total // d:
+                pairs.append((total // d, d))
+        d += 1
+    return sorted(pairs)
+
+
+class DGEMMCPUApp:
+    """The (partition, p, t) DGEMM application on the simulated CPU.
+
+    Parameters
+    ----------
+    spec:
+        CPU to run on (``repro.machines.HASWELL``).
+    thread_counts:
+        Total thread counts to sweep.  Defaults to the divisors-rich
+        ladder the paper's plots cover (up to all 48 logical CPUs).
+    libraries:
+        BLAS flavors to include.
+    """
+
+    def __init__(
+        self,
+        spec: CPUSpec,
+        cal: CPUCalibration | None = None,
+        *,
+        thread_counts: tuple[int, ...] = (1, 2, 4, 6, 8, 12, 16, 24, 32, 48),
+        libraries: tuple[str, ...] = ("mkl", "openblas"),
+    ) -> None:
+        self.spec = spec
+        self.cpu = MulticoreCPU(spec, cal)
+        if not thread_counts:
+            raise ValueError("need at least one thread count")
+        if any(tc < 1 or tc > spec.logical_cpus for tc in thread_counts):
+            raise ValueError("thread counts must fit the machine")
+        self.thread_counts = thread_counts
+        self.libraries = libraries
+
+    def valid_configs(self, library: str | None = None) -> Iterator[DGEMMConfig]:
+        """All configurations over the sweep dimensions."""
+        libs = self.libraries if library is None else (library,)
+        for lib in libs:
+            for partition in PARTITIONS:
+                for total in self.thread_counts:
+                    for p, t in _factor_pairs(total):
+                        yield DGEMMConfig(partition, p, t, lib)
+
+    def run(
+        self,
+        n: int,
+        config: DGEMMConfig,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> CPURunResult:
+        return self.cpu.run_dgemm(n, config, rng=rng)
+
+    def sweep(
+        self,
+        n: int,
+        library: str | None = None,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> list[CPURunResult]:
+        """Evaluate every configuration for matrix size N."""
+        return [self.run(n, cfg, rng=rng) for cfg in self.valid_configs(library)]
+
+    def sweep_points(
+        self, n: int, library: str | None = None
+    ) -> list[ParetoPoint]:
+        """(time, dynamic energy) points for the weak-EP analysis."""
+        return [
+            ParetoPoint(
+                time_s=r.time_s,
+                energy_j=r.dynamic_energy_j,
+                config={
+                    "partition": r.config.partition,
+                    "groups": r.config.groups,
+                    "threads_per_group": r.config.threads_per_group,
+                    "library": r.config.library,
+                },
+            )
+            for r in self.sweep(n, library)
+        ]

@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the library's experiment and analysis
+entry points so a user can regenerate any paper artifact, or analyze a
+custom workload, without writing code:
+
+* ``experiment <id>`` — regenerate one paper artifact or extension
+  study (``table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 headline
+  ablation ep-metrics methods sensitivity dvfs dvfs-gpu
+  budgeted-search``);
+* ``sweep`` — evaluate a GPU matmul configuration sweep and print the
+  point cloud, the Pareto front, and the trade-off table;
+* ``tradeoff`` — answer "how much energy can I save within an X%
+  slowdown budget?" for a workload;
+* ``machines`` — list the platform registry;
+* ``report`` — run everything and write a single markdown report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.analysis.report import format_pct, format_table
+
+__all__ = ["main", "build_parser"]
+
+_EXPERIMENTS = (
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "headline",
+    "ablation",
+    "ep-metrics",
+    "methods",
+    "sensitivity",
+    "dvfs",
+    "dvfs-gpu",
+    "budgeted-search",
+    "energy-model",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction toolkit for 'On Energy Nonproportionality of "
+            "CPUs and GPUs' (IPPS 2022)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate one paper artifact"
+    )
+    exp.add_argument("id", choices=_EXPERIMENTS)
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep a GPU matmul workload and print the front"
+    )
+    sweep.add_argument("--device", choices=("k40c", "p100"), default="p100")
+    sweep.add_argument("--n", type=int, default=10240, help="matrix size")
+    sweep.add_argument(
+        "--products", type=int, default=24, help="total products T = G*R"
+    )
+    sweep.add_argument(
+        "--all-points", action="store_true",
+        help="print every configuration, not just the front",
+    )
+    sweep.add_argument(
+        "--save", default=None, metavar="FILE",
+        help="also write the sweep as JSON (repro-sweep/1 format)",
+    )
+
+    front = sub.add_parser(
+        "front", help="analyze a sweep saved with `sweep --save`"
+    )
+    front.add_argument("file", help="JSON sweep document")
+
+    trade = sub.add_parser(
+        "tradeoff",
+        help="best energy saving within a slowdown budget",
+    )
+    trade.add_argument("--device", choices=("k40c", "p100"), default="p100")
+    trade.add_argument("--n", type=int, default=10240)
+    trade.add_argument(
+        "--budget", type=float, default=5.0,
+        help="tolerated slowdown in percent",
+    )
+
+    sub.add_parser("machines", help="list the platform registry")
+
+    report = sub.add_parser(
+        "report", help="regenerate every artifact into one markdown report"
+    )
+    report.add_argument(
+        "--output", default="REPORT.md", help="output path (default REPORT.md)"
+    )
+    report.add_argument(
+        "--extras", action="store_true",
+        help="include the extension studies (slower)",
+    )
+    return parser
+
+
+def _run_experiment(exp_id: str) -> str:
+    from repro.experiments import (
+        ablation,
+        dvfs_comparison,
+        ep_metrics_study,
+        fig1_strong_ep,
+        fig2_p100_n18432,
+        fig3_decomposition,
+        fig4_cpu_utilization,
+        fig5_source,
+        fig6_additivity,
+        fig7_k40c_pareto,
+        fig8_p100_pareto,
+        gpu_energy_model,
+        headline,
+        measurement_methods,
+        sensitivity,
+        table1_specs,
+    )
+    from repro.machines import K40C, P100
+
+    if exp_id == "table1":
+        return table1_specs.run().render()
+    if exp_id == "fig1":
+        return fig1_strong_ep.run().render()
+    if exp_id == "fig2":
+        return fig2_p100_n18432.run().render()
+    if exp_id == "fig3":
+        return fig3_decomposition.run().render()
+    if exp_id == "fig4":
+        return fig4_cpu_utilization.run().render()
+    if exp_id == "fig5":
+        return fig5_source.run().render()
+    if exp_id == "fig6":
+        return (
+            "P100:\n" + fig6_additivity.run(P100).render()
+            + "\n\nK40c:\n" + fig6_additivity.run(K40C).render()
+        )
+    if exp_id == "fig7":
+        return fig7_k40c_pareto.run().render()
+    if exp_id == "fig8":
+        return fig8_p100_pareto.run().render()
+    if exp_id == "headline":
+        return headline.run().render()
+    if exp_id == "ablation":
+        return ablation.run().render()
+    if exp_id == "ep-metrics":
+        return ep_metrics_study.run().render()
+    if exp_id == "methods":
+        return measurement_methods.run().render()
+    if exp_id == "sensitivity":
+        return sensitivity.run().render()
+    if exp_id == "dvfs":
+        return dvfs_comparison.run().render()
+    if exp_id == "dvfs-gpu":
+        return dvfs_comparison.run_gpu().render()
+    if exp_id == "budgeted-search":
+        from repro.experiments import budgeted_search
+
+        return budgeted_search.run().render()
+    if exp_id == "energy-model":
+        return gpu_energy_model.run().render()
+    raise AssertionError(f"unhandled experiment {exp_id!r}")
+
+
+def _get_gpu(name: str):
+    from repro.machines import get_machine
+
+    return get_machine(name)
+
+
+def _run_sweep(
+    device: str, n: int, products: int, all_points: bool,
+    save: str | None = None,
+) -> str:
+    from repro.apps.matmul_gpu import MatmulGPUApp
+    from repro.core import pareto_front, tradeoff_table
+
+    app = MatmulGPUApp(_get_gpu(device), total_products=products)
+    points = app.sweep_points(n)
+    out = [f"{len(points)} configurations, N={n}, T={products}\n"]
+    if save is not None:
+        from repro.io import SweepDocument, save_sweep
+
+        save_sweep(save, SweepDocument(device, n, tuple(points)))
+        out.append(f"saved sweep to {save}\n")
+    if all_points:
+        rows = [
+            (str(p.config), f"{p.time_s:.3f}", f"{p.energy_j:.0f}")
+            for p in sorted(points, key=lambda p: p.time_s)
+        ]
+        out.append(format_table(["config", "time (s)", "energy (J)"], rows))
+        out.append("")
+    front = pareto_front(points)
+    out.append("Pareto front:")
+    out.append(
+        format_table(
+            ["config", "time (s)", "energy (J)"],
+            [
+                (str(p.config), f"{p.time_s:.3f}", f"{p.energy_j:.0f}")
+                for p in front
+            ],
+        )
+    )
+    out.append("")
+    out.append("Trade-offs vs the performance optimum:")
+    out.append(
+        format_table(
+            ["config", "slowdown", "energy saving"],
+            [
+                (
+                    str(e.point.config),
+                    format_pct(e.perf_degradation),
+                    format_pct(e.energy_saving),
+                )
+                for e in tradeoff_table(points)
+            ],
+        )
+    )
+    return "\n".join(out)
+
+
+def _run_tradeoff(device: str, n: int, budget_pct: float) -> str:
+    from repro.apps.matmul_gpu import MatmulGPUApp
+    from repro.core import saving_at_degradation
+
+    if budget_pct < 0:
+        raise SystemExit("budget must be non-negative")
+    app = MatmulGPUApp(_get_gpu(device))
+    points = app.sweep_points(n)
+    entry = saving_at_degradation(points, budget_pct / 100.0)
+    return (
+        f"Within a {budget_pct:.1f}% slowdown budget on {device} (N={n}):\n"
+        f"  pick {entry.point.config}\n"
+        f"  slowdown      {format_pct(entry.perf_degradation)}\n"
+        f"  energy saving {format_pct(entry.energy_saving)}"
+    )
+
+
+def _run_front(path: str) -> str:
+    from repro.core import pareto_front, tradeoff_table
+    from repro.io import load_sweep
+
+    doc = load_sweep(path)
+    front = pareto_front(doc.points)
+    out = [
+        f"{doc.device}, N={doc.workload}: {len(doc.points)} points, "
+        f"front = {len(front)}",
+        format_table(
+            ["config", "time (s)", "energy (J)"],
+            [
+                (str(p.config), f"{p.time_s:.3f}", f"{p.energy_j:.0f}")
+                for p in front
+            ],
+        ),
+        "",
+        "Trade-offs vs the performance optimum:",
+        format_table(
+            ["config", "slowdown", "energy saving"],
+            [
+                (
+                    str(e.point.config),
+                    format_pct(e.perf_degradation),
+                    format_pct(e.energy_saving),
+                )
+                for e in tradeoff_table(list(doc.points))
+            ],
+        ),
+    ]
+    return "\n".join(out)
+
+
+def _run_machines() -> str:
+    from repro.machines import MACHINES
+    from repro.machines.specs import GPUSpec
+
+    rows = []
+    for key, spec in sorted(MACHINES.items()):
+        if isinstance(spec, GPUSpec):
+            detail = (
+                f"{spec.cuda_cores} CUDA cores, "
+                f"{spec.peak_dp_flops / 1e12:.2f} TFLOP/s DP, "
+                f"TDP {spec.tdp_w:.0f} W"
+            )
+        else:
+            detail = (
+                f"{spec.physical_cores} cores / {spec.logical_cpus} "
+                f"threads, {spec.peak_dp_flops / 1e9:.0f} GFLOP/s DP"
+            )
+        rows.append((key, spec.name, detail))
+    return format_table(["key", "name", "summary"], rows)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        print(_run_experiment(args.id))
+    elif args.command == "sweep":
+        print(
+            _run_sweep(
+                args.device, args.n, args.products, args.all_points,
+                save=args.save,
+            )
+        )
+    elif args.command == "front":
+        print(_run_front(args.file))
+    elif args.command == "tradeoff":
+        print(_run_tradeoff(args.device, args.n, args.budget))
+    elif args.command == "machines":
+        print(_run_machines())
+    elif args.command == "report":
+        from pathlib import Path
+
+        from repro.analysis.summary import generate_report
+
+        text = generate_report(include_extras=args.extras)
+        Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Scalarization methods for bi-objective (time, energy) optimization.
+
+The paper's related work (Section II.A) spans the two classic ways of
+turning the bi-objective problem into single-objective solves:
+
+* **Constraint methods** — "optimize for performance under an energy
+  budget or optimize for energy under an execution-time constraint"
+  ([16], [17], [18]).  :func:`min_time_under_energy_budget` and
+  :func:`min_energy_under_time_constraint` implement both directions
+  over a discrete configuration set, and
+  :func:`epsilon_constraint_front` recovers the exact Pareto front by
+  sweeping the constraint (the ε-constraint method — complete even for
+  non-convex fronts).
+* **Weighted-sum scalarization** — minimize ``λ·t̂ + (1−λ)·ê`` over
+  normalized objectives ([19], [20], [21] solve variants of this).
+  :func:`weighted_sum_front` sweeps λ; it finds only the *convex hull*
+  of the front, which :func:`weighted_sum_front` documents and the
+  tests demonstrate on a non-convex instance — the textbook reason the
+  paper's exhaustive-front methodology is preferable for these jagged
+  configuration spaces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.pareto import ParetoPoint, pareto_front
+
+__all__ = [
+    "min_time_under_energy_budget",
+    "min_energy_under_time_constraint",
+    "epsilon_constraint_front",
+    "weighted_sum_point",
+    "weighted_sum_front",
+]
+
+
+def _require_points(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    pts = list(points)
+    if not pts:
+        raise ValueError("empty configuration set")
+    return pts
+
+
+def min_time_under_energy_budget(
+    points: Sequence[ParetoPoint], energy_budget_j: float
+) -> ParetoPoint:
+    """Fastest configuration whose dynamic energy fits the budget.
+
+    Raises
+    ------
+    ValueError
+        If no configuration satisfies the budget (the budget is
+        infeasible for this workload).
+    """
+    pts = _require_points(points)
+    feasible = [p for p in pts if p.energy_j <= energy_budget_j]
+    if not feasible:
+        raise ValueError(
+            f"energy budget {energy_budget_j} J is infeasible; cheapest "
+            f"configuration needs {min(p.energy_j for p in pts)} J"
+        )
+    return min(feasible, key=lambda p: (p.time_s, p.energy_j))
+
+
+def min_energy_under_time_constraint(
+    points: Sequence[ParetoPoint], time_limit_s: float
+) -> ParetoPoint:
+    """Cheapest configuration meeting an execution-time deadline."""
+    pts = _require_points(points)
+    feasible = [p for p in pts if p.time_s <= time_limit_s]
+    if not feasible:
+        raise ValueError(
+            f"time limit {time_limit_s} s is infeasible; fastest "
+            f"configuration needs {min(p.time_s for p in pts)} s"
+        )
+    return min(feasible, key=lambda p: (p.energy_j, p.time_s))
+
+
+def epsilon_constraint_front(
+    points: Sequence[ParetoPoint]
+) -> list[ParetoPoint]:
+    """Exact Pareto front via the ε-constraint method.
+
+    Sweeps the time constraint over every distinct achievable time and
+    collects the energy-minimal feasible point for each — recovering
+    the complete front, including non-convex stretches the weighted-sum
+    method misses.  Provided both as an alternative derivation of
+    :func:`repro.core.pareto.pareto_front` (the tests cross-check them)
+    and as the building block for budget-style APIs.
+    """
+    pts = _require_points(points)
+    levels = sorted({p.time_s for p in pts})
+    found: dict[tuple[float, float], ParetoPoint] = {}
+    for limit in levels:
+        best = min_energy_under_time_constraint(pts, limit)
+        found.setdefault(best.objectives(), best)
+    return pareto_front(found.values())
+
+
+def weighted_sum_point(
+    points: Sequence[ParetoPoint], lam: float
+) -> ParetoPoint:
+    """Minimizer of ``λ·t̂ + (1−λ)·ê`` over min-normalized objectives.
+
+    ``λ = 1`` is pure performance optimization; ``λ = 0`` pure energy.
+    Objectives are normalized by their minima so λ is scale-free.
+    """
+    if not (0.0 <= lam <= 1.0):
+        raise ValueError("lambda must lie in [0, 1]")
+    pts = _require_points(points)
+    t_min = min(p.time_s for p in pts)
+    e_min = min(p.energy_j for p in pts)
+    if t_min <= 0 or e_min <= 0:
+        raise ValueError("objectives must be positive for normalization")
+
+    def score(p: ParetoPoint) -> float:
+        return lam * p.time_s / t_min + (1.0 - lam) * p.energy_j / e_min
+
+    return min(pts, key=lambda p: (score(p), p.time_s))
+
+
+def weighted_sum_front(
+    points: Sequence[ParetoPoint], n_weights: int = 101
+) -> list[ParetoPoint]:
+    """Front approximation from a λ-sweep of weighted sums.
+
+    Finds only the points on the *convex hull* of the Pareto front:
+    any front point inside a concavity is skipped for every λ.  The
+    return value is therefore a (possibly strict) subset of
+    :func:`repro.core.pareto.pareto_front` — the classic limitation
+    that motivates exhaustive/ε-constraint approaches for the jagged
+    energy landscapes this paper studies.
+    """
+    if n_weights < 2:
+        raise ValueError("need at least 2 weights")
+    pts = _require_points(points)
+    found: dict[tuple[float, float], ParetoPoint] = {}
+    for lam in np.linspace(0.0, 1.0, n_weights):
+        p = weighted_sum_point(pts, float(lam))
+        found.setdefault(p.objectives(), p)
+    return pareto_front(found.values())

@@ -1,0 +1,175 @@
+"""Bi-objective workload distribution across processors ([25], [26]).
+
+The paper's own prior work (Reddy Manumachu & Lastovetsky, IEEE TC
+2018; CCPE 2019 — references [25], [26]) studies bi-objective
+optimization of data-parallel applications "employing only one decision
+variable, the workload distribution": given, for each processor, the
+discrete functions of execution time and dynamic energy against
+workload size, output the Pareto-optimal set of workload distributions.
+Khaleghzadeh et al. [12] extend the approach to heterogeneous
+platforms.  Energy nonproportionality is exactly what makes these
+discrete functions non-trivial — hence this module rounds out the
+reproduction with the solution method the paper builds on.
+
+Problem.  Distribute ``W`` work units over processors ``1..p`` where
+processor ``i`` assigned ``x`` units runs for ``t_i(x)`` seconds and
+consumes ``e_i(x)`` joules (``x`` ranges over a discrete grid; 0 means
+the processor is left idle at zero dynamic cost).  A distribution's
+objectives are::
+
+    time(x_1..x_p)   = max_i t_i(x_i)      (processors run in parallel)
+    energy(x_1..x_p) = sum_i e_i(x_i)
+
+:func:`pareto_workload_distributions` computes the exact Pareto front
+of distributions by dynamic programming over processors, carrying the
+Pareto-minimal set of (time, energy) partial states per allocated-work
+amount — the structure of the exact algorithms in [25] and [12].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.pareto import ParetoPoint, pareto_front
+
+__all__ = ["ProcessorProfile", "Distribution", "pareto_workload_distributions"]
+
+
+@dataclass(frozen=True)
+class ProcessorProfile:
+    """Discrete time/energy functions of one processor.
+
+    ``times[x]`` / ``energies[x]`` give the execution time (s) and
+    dynamic energy (J) of running ``x`` work units on this processor,
+    for ``x = 0 .. capacity``.  Index 0 must be (0, 0): an idle
+    processor takes no time and burns no *dynamic* energy.  The
+    functions need not be convex or even monotone — energy
+    nonproportionality is the whole point.
+    """
+
+    name: str
+    times: tuple[float, ...]
+    energies: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.times) != len(self.energies):
+            raise ValueError("times and energies must align")
+        if len(self.times) < 1:
+            raise ValueError("profile needs at least the x=0 entry")
+        if self.times[0] != 0.0 or self.energies[0] != 0.0:
+            raise ValueError("x=0 must cost zero time and energy")
+        if any(t < 0 for t in self.times) or any(e < 0 for e in self.energies):
+            raise ValueError("costs must be non-negative")
+
+    @property
+    def capacity(self) -> int:
+        return len(self.times) - 1
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """One Pareto-optimal workload distribution."""
+
+    assignment: tuple[int, ...]  # work units per processor
+    time_s: float
+    energy_j: float
+
+    def to_point(self) -> ParetoPoint:
+        return ParetoPoint(self.time_s, self.energy_j, config=self.assignment)
+
+
+def _prune(states: list[tuple[float, float, tuple[int, ...]]]):
+    """Keep the Pareto-minimal (time, energy) states."""
+    states.sort(key=lambda s: (s[0], s[1]))
+    kept: list[tuple[float, float, tuple[int, ...]]] = []
+    best_energy = float("inf")
+    for t, e, a in states:
+        if e < best_energy:
+            kept.append((t, e, a))
+            best_energy = e
+    return kept
+
+
+def pareto_workload_distributions(
+    profiles: Sequence[ProcessorProfile],
+    total_work: int,
+    *,
+    allow_idle: bool = True,
+) -> list[Distribution]:
+    """Exact Pareto front of workload distributions.
+
+    Parameters
+    ----------
+    profiles:
+        Per-processor discrete cost functions.
+    total_work:
+        Work units to distribute; every unit must be assigned.
+    allow_idle:
+        When False, every processor must receive at least one unit
+        (some runtimes cannot park a processor).
+
+    Returns
+    -------
+    Distributions sorted by increasing time (the front order), each
+    carrying its per-processor assignment.
+
+    Raises
+    ------
+    ValueError
+        If the aggregate capacity cannot hold ``total_work`` (or, with
+        ``allow_idle=False``, if ``total_work < p``).
+
+    Notes
+    -----
+    Dynamic programming over processors: state[(w)] is the Pareto set
+    of (makespan-so-far, energy-so-far) over the first ``k`` processors
+    having been assigned exactly ``w`` units.  Complexity
+    ``O(p · W · max_capacity · F)`` with ``F`` the running front width —
+    exact, matching the structure of the solvers in [25]/[12], and
+    perfectly adequate for the work grids these studies use.
+    """
+    profs = list(profiles)
+    if not profs:
+        raise ValueError("need at least one processor")
+    if total_work < 0:
+        raise ValueError("total work must be non-negative")
+    if sum(p.capacity for p in profs) < total_work:
+        raise ValueError(
+            f"aggregate capacity {sum(p.capacity for p in profs)} cannot "
+            f"hold {total_work} work units"
+        )
+    min_per_proc = 0 if allow_idle else 1
+    if not allow_idle and total_work < len(profs):
+        raise ValueError(
+            "allow_idle=False requires at least one unit per processor"
+        )
+
+    # states[w] -> list of (time, energy, assignment)
+    states: dict[int, list[tuple[float, float, tuple[int, ...]]]] = {
+        0: [(0.0, 0.0, ())]
+    }
+    for prof in profs:
+        nxt: dict[int, list[tuple[float, float, tuple[int, ...]]]] = {}
+        for w, partials in states.items():
+            for x in range(min_per_proc, prof.capacity + 1):
+                if w + x > total_work:
+                    break
+                tx, ex = prof.times[x], prof.energies[x]
+                bucket = nxt.setdefault(w + x, [])
+                for t, e, a in partials:
+                    bucket.append((max(t, tx), e + ex, a + (x,)))
+        states = {w: _prune(lst) for w, lst in nxt.items()}
+        if not states:
+            raise ValueError("no feasible partial assignment")
+
+    final = states.get(total_work)
+    if not final:
+        raise ValueError("no feasible distribution for the requested work")
+    front = pareto_front(
+        ParetoPoint(t, e, config=a) for t, e, a in final
+    )
+    return [
+        Distribution(assignment=p.config, time_s=p.time_s, energy_j=p.energy_j)
+        for p in front
+    ]

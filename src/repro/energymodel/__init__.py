@@ -1,0 +1,36 @@
+"""Theory of energy predictive models [33]: application profiles,
+additivity testing, constrained linear models, and variable selection."""
+
+from repro.energymodel.additivity import (
+    AdditivityResult,
+    additivity_error,
+    additivity_report,
+)
+from repro.energymodel.events import ApplicationProfile, compose_serial
+from repro.energymodel.linear import LinearEnergyModel, fit_energy_model
+from repro.energymodel.selection import (
+    EventScore,
+    energy_correlations,
+    select_events,
+)
+from repro.energymodel.validation import (
+    ValidationResult,
+    kfold_validation,
+    loocv,
+)
+
+__all__ = [
+    "ApplicationProfile",
+    "compose_serial",
+    "AdditivityResult",
+    "additivity_error",
+    "additivity_report",
+    "LinearEnergyModel",
+    "fit_energy_model",
+    "EventScore",
+    "energy_correlations",
+    "select_events",
+    "ValidationResult",
+    "loocv",
+    "kfold_validation",
+]

@@ -1,0 +1,86 @@
+"""Event vectors and compound-application composition.
+
+The theory of energy predictive models of computing [33] reasons about
+*base* applications and *compound* applications (the serial execution
+of two base applications).  Its additivity property: a performance
+event is a sound linear-model variable only if its count for a
+compound application equals the sum of its counts for the base
+applications.
+
+This module provides the small algebra those analyses need: profiled
+application records carrying an event-count vector plus the measured
+dynamic energy, and the serial composition operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = ["ApplicationProfile", "compose_serial"]
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """One profiled application run.
+
+    Attributes
+    ----------
+    name:
+        Label ("base A", "compound A;B", ...).
+    events:
+        Event name → count, as *reported* by the profiling interface
+        (which may have overflowed — see ``repro.simgpu.cupti``).
+    energy_j:
+        Measured dynamic energy of the run.
+    time_s:
+        Measured execution time of the run.
+    """
+
+    name: str
+    events: Mapping[str, float]
+    energy_j: float
+    time_s: float
+
+    def __post_init__(self) -> None:
+        if self.energy_j < 0 or self.time_s <= 0:
+            raise ValueError("energy must be >= 0 and time > 0")
+        object.__setattr__(self, "events", MappingProxyType(dict(self.events)))
+
+    def event(self, name: str) -> float:
+        try:
+            return self.events[name]
+        except KeyError:
+            raise KeyError(
+                f"profile {self.name!r} has no event {name!r}"
+            ) from None
+
+
+def compose_serial(
+    a: ApplicationProfile,
+    b: ApplicationProfile,
+    *,
+    name: str | None = None,
+    event_excess: Mapping[str, float] | None = None,
+    energy_excess_j: float = 0.0,
+) -> ApplicationProfile:
+    """Profile of the compound application "run a, then b".
+
+    On an ideal machine, counts and energy add exactly.  Real machines
+    deviate: ``event_excess`` injects per-event deviations and
+    ``energy_excess_j`` an energy deviation (e.g. the paper's 58 W
+    auxiliary component activity), letting tests and experiments build
+    compounds with controlled non-additivity.
+    """
+    events: dict[str, float] = {}
+    for key in set(a.events) | set(b.events):
+        events[key] = a.events.get(key, 0.0) + b.events.get(key, 0.0)
+        if event_excess and key in event_excess:
+            events[key] += event_excess[key]
+    return ApplicationProfile(
+        name=name if name is not None else f"{a.name};{b.name}",
+        events=events,
+        energy_j=a.energy_j + b.energy_j + energy_excess_j,
+        time_s=a.time_s + b.time_s,
+    )

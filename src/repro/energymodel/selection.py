@@ -1,0 +1,116 @@
+"""Model-variable selection: additivity plus energy correlation.
+
+The paper's methodology (following [8] and [33]): candidate events are
+kept when (a) they pass the additivity test over compound applications
+and (b) they correlate highly and positively with dynamic energy across
+the training profiles.  The CUPTI study adds a third gate: the event's
+counter must not have overflowed (``repro.simgpu.cupti`` flags that).
+
+:func:`select_events` applies the gates and returns the ranked survivor
+list ready for :func:`repro.energymodel.linear.fit_energy_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energymodel.additivity import additivity_report
+from repro.energymodel.events import ApplicationProfile
+
+__all__ = ["EventScore", "select_events", "energy_correlations"]
+
+
+@dataclass(frozen=True)
+class EventScore:
+    """Selection verdict for one candidate event."""
+
+    name: str
+    additivity_error: float
+    correlation: float
+    selected: bool
+    reason: str
+
+
+def energy_correlations(
+    profiles: list[ApplicationProfile], event_names: list[str]
+) -> dict[str, float]:
+    """Pearson correlation of each event's counts with dynamic energy.
+
+    Events with zero variance across the profiles get correlation 0
+    (they carry no information for a linear model).
+    """
+    if len(profiles) < 3:
+        raise ValueError("need at least 3 profiles for a correlation")
+    energy = np.array([p.energy_j for p in profiles])
+    out: dict[str, float] = {}
+    for name in event_names:
+        counts = np.array([p.event(name) for p in profiles])
+        if counts.std() == 0 or energy.std() == 0:
+            out[name] = 0.0
+        else:
+            out[name] = float(np.corrcoef(counts, energy)[0, 1])
+    return out
+
+
+def select_events(
+    training: list[ApplicationProfile],
+    compounds: list[tuple[ApplicationProfile, ApplicationProfile, ApplicationProfile]],
+    event_names: list[str],
+    *,
+    additivity_tolerance: float = 0.05,
+    min_correlation: float = 0.7,
+    unreliable: set[str] | frozenset[str] = frozenset(),
+) -> list[EventScore]:
+    """Gate candidate events for linear-model membership.
+
+    Parameters
+    ----------
+    training:
+        Profiles used for the correlation gate (≥ 3).
+    compounds:
+        (base a, base b, compound) triples for the additivity gate;
+        an event's additivity error is its worst over the triples.
+    event_names:
+        Candidates to score.
+    additivity_tolerance / min_correlation:
+        Gate thresholds (paper uses "the most additive" events with "a
+        high positive correlation with dynamic energy").
+    unreliable:
+        Events whose counters overflowed; rejected outright.
+
+    Returns the scores sorted: selected first (by correlation
+    descending), then rejected.
+    """
+    if not compounds:
+        raise ValueError("need at least one compound triple")
+    corr = energy_correlations(training, event_names)
+    worst_add: dict[str, float] = {name: 0.0 for name in event_names}
+    for a, b, c in compounds:
+        report = additivity_report(a, b, c, tolerance=additivity_tolerance)
+        for name in event_names:
+            if name in report:
+                worst_add[name] = max(worst_add[name], report[name].error)
+
+    scores = []
+    for name in event_names:
+        if name in unreliable:
+            selected, reason = False, "counter overflow"
+        elif worst_add[name] > additivity_tolerance:
+            selected, reason = False, "non-additive"
+        elif corr[name] < min_correlation:
+            selected, reason = False, "weak energy correlation"
+        else:
+            selected, reason = True, "selected"
+        scores.append(
+            EventScore(
+                name=name,
+                additivity_error=worst_add[name],
+                correlation=corr[name],
+                selected=selected,
+                reason=reason,
+            )
+        )
+    scores.sort(key=lambda s: (not s.selected, -s.correlation))
+    return scores

@@ -1,0 +1,47 @@
+"""One module per paper figure/table (see DESIGN.md for the index).
+
+Each module exposes ``run(...) -> Result`` where the result renders
+itself as the rows/series the paper reports via ``.render()``.
+"""
+
+from repro.experiments import (
+    ablation,
+    budgeted_search,
+    dvfs_comparison,
+    ep_metrics_study,
+    fig1_strong_ep,
+    fig2_p100_n18432,
+    fig3_decomposition,
+    fig4_cpu_utilization,
+    fig5_source,
+    fig6_additivity,
+    fig7_k40c_pareto,
+    fig8_p100_pareto,
+    gpu_energy_model,
+    headline,
+    matmul_strong_ep,
+    measurement_methods,
+    sensitivity,
+    table1_specs,
+)
+
+__all__ = [
+    "ablation",
+    "budgeted_search",
+    "dvfs_comparison",
+    "ep_metrics_study",
+    "measurement_methods",
+    "sensitivity",
+    "table1_specs",
+    "fig1_strong_ep",
+    "fig2_p100_n18432",
+    "fig3_decomposition",
+    "fig4_cpu_utilization",
+    "fig5_source",
+    "fig6_additivity",
+    "fig7_k40c_pareto",
+    "fig8_p100_pareto",
+    "gpu_energy_model",
+    "headline",
+    "matmul_strong_ep",
+]

@@ -1,0 +1,236 @@
+"""System-level (DVFS) vs application-level optimization (Section II.A).
+
+The paper's related work divides bi-objective energy/performance
+methods into two categories: *system-level* methods whose dominant
+decision variable is DVFS ([16]-[18]), and *application-level* methods
+using knobs like workload distribution and thread counts ([22]-[26],
+including the paper itself).  This study puts both categories on the
+same simulated Haswell and compares the Pareto fronts they reach:
+
+* **DVFS-only** — the best application configuration, frequency swept
+  over the part's P-state ladder;
+* **application-only** — the full (partition, p, t) sweep at the base
+  clock (the paper's methodology);
+* **combined** — both variable sets jointly.
+
+Findings on the simulated Haswell: DVFS supplies the classic smooth
+trade-off curve; the application-level sweep's front is nearly
+degenerate (the fastest configuration is also the frugal one at a fixed
+clock) — but application-level *choice still matters enormously in the
+other direction*: picking a nonproportional configuration wastes a
+large fraction of energy at essentially the same performance (the
+``app_choice_waste`` statistic, Fig. 4's practical content).  The
+combined sweep dominates both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.front_quality import additive_epsilon
+from repro.analysis.report import format_pct, format_table
+from repro.apps.dgemm_cpu import DGEMMCPUApp
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.core.tradeoff import max_energy_saving
+from repro.machines.specs import HASWELL
+
+__all__ = [
+    "StrategyRow",
+    "DVFSComparisonResult",
+    "run",
+    "run_gpu",
+    "FREQ_LADDER",
+    "GPU_CLOCK_LADDER_FRACTIONS",
+]
+
+#: The modelled P-state ladder (fractions of the 2.3 GHz base clock;
+#: Haswell-EP exposes 1.2-2.3 GHz in 100 MHz steps — we sweep a coarse
+#: subset).
+FREQ_LADDER = (0.55, 0.65, 0.75, 0.85, 0.95, 1.0)
+
+
+@dataclass(frozen=True)
+class StrategyRow:
+    strategy: str
+    evaluations: int
+    front_size: int
+    max_saving: float
+    max_saving_degradation: float
+    #: ε-indicator vs the combined front (0 = as good as combined).
+    epsilon_vs_combined: float
+
+
+@dataclass(frozen=True)
+class DVFSComparisonResult:
+    n: int
+    rows: tuple[StrategyRow, ...]
+    #: Energy wasted by the worst application configuration whose time
+    #: is within 5% of the best — what ignoring application-level
+    #: nonproportionality costs even when DVFS is tuned.
+    app_choice_waste: float
+
+    def render(self) -> str:
+        note = (
+            f"\napp-level choice still matters: the worst configuration "
+            f"within 5% of the best time wastes "
+            f"{format_pct(self.app_choice_waste)} extra dynamic energy."
+        )
+        return self._table() + note
+
+    def _table(self) -> str:
+        return format_table(
+            [
+                "strategy",
+                "evaluations",
+                "front pts",
+                "max saving",
+                "at degradation",
+                "eps vs combined",
+            ],
+            [
+                (
+                    r.strategy,
+                    r.evaluations,
+                    r.front_size,
+                    format_pct(r.max_saving),
+                    format_pct(r.max_saving_degradation),
+                    f"{r.epsilon_vs_combined:.4f}",
+                )
+                for r in self.rows
+            ],
+        )
+
+    def by_strategy(self, name: str) -> StrategyRow:
+        for r in self.rows:
+            if r.strategy == name:
+                return r
+        raise KeyError(name)
+
+
+def run(n: int = 17408) -> DVFSComparisonResult:
+    """Compare the three strategies' fronts on the simulated Haswell."""
+    app = DGEMMCPUApp(HASWELL, libraries=("mkl",))
+    configs = list(app.valid_configs("mkl"))
+
+    def point(cfg, f) -> ParetoPoint:
+        r = app.cpu.run_dgemm(n, cfg, freq_scale=f)
+        return ParetoPoint(
+            r.time_s,
+            r.dynamic_energy_j,
+            config={"cfg": cfg.key(), "freq": f},
+        )
+
+    # Application-only: full config sweep at base clock.
+    app_points = [point(cfg, 1.0) for cfg in configs]
+    t_best = min(p.time_s for p in app_points)
+    near_best = [p for p in app_points if p.time_s <= 1.05 * t_best]
+    e_best = min(p.energy_j for p in near_best)
+    app_choice_waste = max(p.energy_j for p in near_best) / e_best - 1.0
+
+    # DVFS-only: the performance-best configuration, frequency swept.
+    best_cfg = min(app_points, key=lambda p: p.time_s).config["cfg"]
+    best = next(c for c in configs if c.key() == best_cfg)
+    dvfs_points = [point(best, f) for f in FREQ_LADDER]
+
+    # Combined: every configuration at every frequency.
+    combined_points = [
+        point(cfg, f) for cfg in configs for f in FREQ_LADDER
+    ]
+
+    combined_front = pareto_front(combined_points)
+
+    rows = []
+    for name, pts in (
+        ("dvfs-only", dvfs_points),
+        ("application-only", app_points),
+        ("combined", combined_points),
+    ):
+        front = pareto_front(pts)
+        entry = max_energy_saving(pts)
+        rows.append(
+            StrategyRow(
+                strategy=name,
+                evaluations=len(pts),
+                front_size=len(front),
+                max_saving=entry.energy_saving,
+                max_saving_degradation=entry.perf_degradation,
+                epsilon_vs_combined=additive_epsilon(combined_front, front),
+            )
+        )
+    return DVFSComparisonResult(
+        n=n, rows=tuple(rows), app_choice_waste=app_choice_waste
+    )
+
+
+#: GPU application-clock ladder, as fractions of the base clock (the
+#: P100 exposes ~544-1480 MHz via ``nvidia-smi -ac``; we sweep a coarse
+#: subset up to the boost clock).
+GPU_CLOCK_LADDER_FRACTIONS = (0.55, 0.7, 0.85, 1.0, 1.1)
+
+
+def run_gpu(n: int = 10240) -> DVFSComparisonResult:
+    """The same strategy comparison on the simulated P100.
+
+    On the GPU, *both* variable sets produce real fronts: the
+    application-level (BS, G, R) sweep (the paper's contribution) and
+    the application-clock ladder — and combining them dominates each.
+    """
+    from repro.apps.matmul_gpu import MatmulGPUApp
+    from repro.machines.specs import P100
+
+    app = MatmulGPUApp(P100)
+    configs = list(app.valid_configs(min_bs=4))
+
+    def point(cfg, frac) -> ParetoPoint:
+        pinned = None if frac is None else frac * P100.base_clock_hz
+        r = app.device.run_matmul(
+            n, cfg.bs, cfg.g, cfg.r, pinned_clock_hz=pinned
+        )
+        return ParetoPoint(
+            r.time_s,
+            r.dynamic_energy_j,
+            config={"bs": cfg.bs, "g": cfg.g, "r": cfg.r, "freq": frac},
+        )
+
+    app_points = [point(cfg, None) for cfg in configs]
+    t_best = min(p.time_s for p in app_points)
+    near_best = [p for p in app_points if p.time_s <= 1.05 * t_best]
+    e_best = min(p.energy_j for p in near_best)
+    app_choice_waste = max(p.energy_j for p in near_best) / e_best - 1.0
+
+    best = min(app_points, key=lambda p: p.time_s).config
+    best_cfg = next(
+        c for c in configs
+        if (c.bs, c.g, c.r) == (best["bs"], best["g"], best["r"])
+    )
+    dvfs_points = [
+        point(best_cfg, f) for f in GPU_CLOCK_LADDER_FRACTIONS
+    ]
+    combined_points = app_points + [
+        point(cfg, f)
+        for cfg in configs
+        for f in GPU_CLOCK_LADDER_FRACTIONS
+    ]
+    combined_front = pareto_front(combined_points)
+
+    rows = []
+    for name, pts in (
+        ("dvfs-only", dvfs_points),
+        ("application-only", app_points),
+        ("combined", combined_points),
+    ):
+        front = pareto_front(pts)
+        entry = max_energy_saving(pts)
+        rows.append(
+            StrategyRow(
+                strategy=name,
+                evaluations=len(pts),
+                front_size=len(front),
+                max_saving=entry.energy_saving,
+                max_saving_degradation=entry.perf_degradation,
+                epsilon_vs_combined=additive_epsilon(combined_front, front),
+            )
+        )
+    return DVFSComparisonResult(
+        n=n, rows=tuple(rows), app_choice_waste=app_choice_waste
+    )

@@ -1,0 +1,116 @@
+"""EP-metric battery over the simulated platforms (DESIGN.md §6).
+
+The related work (Section II.B) measures energy proportionality via
+the functional relationship between power and utilization.  The paper's
+point is that for multicore CPUs this relationship is not even a
+function — but the literature's metrics can still be computed on the
+upper/average envelope, and doing so quantifies *how far* each platform
+sits from proportional.
+
+For the CPU we sweep the DGEMM configurations and score the
+power-vs-average-utilization cloud; for the GPUs, occupancy plays the
+role of utilization (configurations at different resident-warp levels),
+scored on the power-vs-occupancy relation of a fixed workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.apps.dgemm_cpu import DGEMMCPUApp
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core.metrics import (
+    hsu_poole_ep,
+    idle_to_peak_ratio,
+    ryckbosch_ep,
+    wong_annavaram_pr,
+)
+from repro.machines.specs import HASWELL, K40C, P100
+
+__all__ = ["MetricRow", "EPMetricsResult", "run"]
+
+
+@dataclass(frozen=True)
+class MetricRow:
+    platform: str
+    utilization_proxy: str
+    ryckbosch: float
+    wong_annavaram_pr: float
+    hsu_poole: float
+    idle_to_peak: float
+
+
+@dataclass(frozen=True)
+class EPMetricsResult:
+    rows: tuple[MetricRow, ...]
+
+    def render(self) -> str:
+        return format_table(
+            ["platform", "utilization proxy", "Ryckbosch EP", "W-A PR",
+             "Hsu-Poole EP", "idle/peak"],
+            [
+                (
+                    r.platform,
+                    r.utilization_proxy,
+                    f"{r.ryckbosch:.3f}",
+                    f"{r.wong_annavaram_pr:.3f}",
+                    f"{r.hsu_poole:.3f}",
+                    f"{r.idle_to_peak:.3f}",
+                )
+                for r in self.rows
+            ],
+        )
+
+
+def _dedupe_curve(util: np.ndarray, power: np.ndarray):
+    """Average power at duplicate utilization samples (metrics expect a
+    curve, the sweeps produce a cloud)."""
+    order = np.argsort(util)
+    u, p = util[order], power[order]
+    # Bin to 2% utilization granularity.
+    bins = np.round(u * 50.0) / 50.0
+    uniq = np.unique(bins)
+    avg = np.array([p[bins == b].mean() for b in uniq])
+    return uniq, avg
+
+
+def _score(platform, proxy, util, power) -> MetricRow:
+    u, p = _dedupe_curve(np.asarray(util), np.asarray(power))
+    return MetricRow(
+        platform=platform,
+        utilization_proxy=proxy,
+        ryckbosch=ryckbosch_ep(u, p),
+        wong_annavaram_pr=wong_annavaram_pr(u, p),
+        hsu_poole=hsu_poole_ep(u, p),
+        idle_to_peak=idle_to_peak_ratio(u, p),
+    )
+
+
+def run(n_cpu: int = 17408, n_gpu: int = 10240) -> EPMetricsResult:
+    """Score all three platforms with the literature metric battery."""
+    rows = []
+
+    cpu_app = DGEMMCPUApp(HASWELL, libraries=("mkl",))
+    results = cpu_app.sweep(n_cpu, "mkl")
+    rows.append(
+        _score(
+            HASWELL.name,
+            "avg CPU utilization",
+            [r.avg_utilization / 100.0 for r in results],
+            [r.power.dynamic_w for r in results],
+        )
+    )
+
+    for spec in (K40C, P100):
+        app = MatmulGPUApp(spec)
+        util, power = [], []
+        for cfg in app.valid_configs(min_bs=4):
+            run_ = app.run(n_gpu, cfg)
+            util.append(run_.occupancy.warp_occupancy)
+            power.append(run_.dynamic_power_w)
+        rows.append(_score(spec.name, "warp occupancy", util, power))
+
+    return EPMetricsResult(rows=tuple(rows))

@@ -1,0 +1,131 @@
+"""Section V.C: a CUPTI-based GPU energy model, and where it breaks.
+
+The paper's discussion section tries to explain the GPUs' energy
+nonproportionality with a dynamic-energy model over CUPTI events (the
+methodology that worked for CPUs in [8]) and reports the blocker:
+"many key events and metrics overflow for large matrix sizes
+(N > 2048) and reported inaccurate counts.  Therefore, the CUPTI
+library is inadequate to analyze the energy nonproportionality of the
+GPUs."
+
+This experiment formalizes that storyline end to end on the simulated
+P100:
+
+1. profile a training set at counter-safe sizes (clocks pinned);
+2. gate events by additivity, energy correlation, and counter
+   reliability (the [33] methodology);
+3. fit the constrained linear model and validate it with LOOCV — the
+   model *works* where the counters are sound;
+4. profile at paper-scale N: the selected events overflow, and the
+   model's prediction collapses — the paper's negative finding,
+   quantified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_pct, format_table
+from repro.energymodel.events import ApplicationProfile, compose_serial
+from repro.energymodel.linear import fit_energy_model
+from repro.energymodel.selection import select_events
+from repro.energymodel.validation import loocv
+from repro.machines.specs import GPUSpec, P100
+from repro.simgpu.calibration import calibration_for
+from repro.simgpu.cupti import CuptiProfiler
+from repro.simgpu.device import GPUDevice
+
+__all__ = ["GPUEnergyModelResult", "run"]
+
+#: Counter-safe training configurations (N, BS).
+TRAINING_SIZES: tuple[tuple[int, int], ...] = (
+    (256, 8), (384, 12), (512, 16), (640, 16), (768, 24), (896, 28),
+    (1024, 32), (512, 8), (768, 16), (1024, 16), (640, 8), (896, 14),
+)
+
+
+@dataclass(frozen=True)
+class GPUEnergyModelResult:
+    device: str
+    selected_events: tuple[str, ...]
+    training_error: float
+    loocv_mean_error: float
+    loocv_max_error: float
+    overflowed_at_large_n: tuple[str, ...]
+    large_n: int
+    large_n_prediction_error: float
+
+    def render(self) -> str:
+        rows = [
+            ("selected events", ", ".join(self.selected_events)),
+            ("training error", format_pct(self.training_error)),
+            ("LOOCV mean error (small N)", format_pct(self.loocv_mean_error)),
+            ("LOOCV max error (small N)", format_pct(self.loocv_max_error)),
+            (
+                f"overflowed counters at N={self.large_n}",
+                str(len(self.overflowed_at_large_n))
+                + f" incl. {', '.join(self.overflowed_at_large_n[:3])}",
+            ),
+            (
+                f"prediction error at N={self.large_n} (paper: 'inadequate')",
+                format_pct(self.large_n_prediction_error),
+            ),
+        ]
+        return format_table(["quantity", "value"], rows)
+
+
+def _profile(device, profiler, n, bs, g=1):
+    run = device.run_matmul(n, bs, g, fixed_clock=True)
+    readings = profiler.profile(n, bs, g)
+    return (
+        ApplicationProfile(
+            f"matmul(N={n},BS={bs},G={g})",
+            {name: float(r.reported) for name, r in readings.items()},
+            run.dynamic_energy_j,
+            run.time_s,
+        ),
+        {name for name, r in readings.items() if not r.reliable},
+    )
+
+
+def run(spec: GPUSpec = P100, large_n: int = 8192) -> GPUEnergyModelResult:
+    """Run the Section V.C storyline on one simulated GPU."""
+    device = GPUDevice(spec)
+    profiler = CuptiProfiler(spec, calibration_for(spec))
+
+    training = []
+    unreliable: set[str] = set()
+    for n, bs in TRAINING_SIZES:
+        p, bad = _profile(device, profiler, n, bs)
+        training.append(p)
+        unreliable |= bad
+
+    compounds = [
+        (training[a], training[b], compose_serial(training[a], training[b]))
+        for a, b in ((0, 1), (2, 3), (4, 6))
+    ]
+    scores = select_events(
+        training,
+        compounds,
+        sorted(training[0].events),
+        min_correlation=0.6,
+        unreliable=unreliable,
+    )
+    selected = [s.name for s in scores if s.selected][:4]
+    if not selected:
+        raise RuntimeError("no events survived selection")
+
+    model = fit_energy_model(training, selected)
+    validation = loocv(training, selected)
+
+    big_profile, big_bad = _profile(device, profiler, large_n, 32)
+    return GPUEnergyModelResult(
+        device=spec.name,
+        selected_events=tuple(selected),
+        training_error=model.training_error,
+        loocv_mean_error=validation.mean_error,
+        loocv_max_error=validation.max_error,
+        overflowed_at_large_n=tuple(sorted(big_bad)),
+        large_n=large_n,
+        large_n_prediction_error=model.relative_error(big_profile),
+    )

@@ -1,0 +1,137 @@
+"""Headline claims: front statistics and maximum savings over workloads.
+
+The abstract's quantitative claims aggregate "a wide range of
+workloads":
+
+* K40c — global Pareto front: 1 point (performance-optimal is also
+  energy-optimal, its BS = 32); local fronts: average 4 points,
+  maximum 5; maximum dynamic energy saving 18% at a 7% performance
+  degradation.
+* P100 — global fronts: average 2 points, maximum 3; maximum saving
+  50% at 11% degradation.
+
+This experiment sweeps a range of matrix sizes per device and
+aggregates the same statistics from the simulator.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from repro.analysis.report import format_pct, format_table
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core.pareto import local_pareto_front, pareto_front
+from repro.core.tradeoff import max_energy_saving
+from repro.machines.specs import GPUSpec, K40C, P100
+
+__all__ = ["DeviceHeadline", "HeadlineResult", "run", "DEFAULT_SIZES"]
+
+#: Workload ranges per device ("a wide range of workloads").
+DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
+    "k40c": (5120, 6144, 8192, 8704, 10240, 12288),
+    "p100": (5120, 6144, 8192, 10240, 12288, 14336, 15360, 18432),
+}
+
+
+@dataclass(frozen=True)
+class DeviceHeadline:
+    """Aggregated front statistics for one device."""
+
+    device: str
+    sizes: tuple[int, ...]
+    global_sizes: tuple[int, ...]
+    local_sizes: tuple[int, ...]
+    global_front_avg: float
+    global_front_max: int
+    local_front_avg: float
+    local_front_max: int
+    #: Largest (saving, degradation) over sizes — global for the P100,
+    #: local (BS ≤ 31) for the K40c whose global front is one point.
+    max_saving: float
+    max_saving_degradation: float
+    global_bs_always_32: bool
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    devices: tuple[DeviceHeadline, ...]
+
+    def render(self) -> str:
+        rows = []
+        for d in self.devices:
+            rows.append(
+                (
+                    d.device,
+                    f"{d.global_front_avg:.1f} / {d.global_front_max}",
+                    f"{d.local_front_avg:.1f} / {d.local_front_max}",
+                    format_pct(d.max_saving),
+                    format_pct(d.max_saving_degradation),
+                    "yes" if d.global_bs_always_32 else "no",
+                )
+            )
+        return format_table(
+            [
+                "device",
+                "global front avg/max",
+                "local front avg/max",
+                "max saving",
+                "at degradation",
+                "global front BS=32 only",
+            ],
+            rows,
+        )
+
+
+def _analyze(spec: GPUSpec, sizes: tuple[int, ...]) -> DeviceHeadline:
+    app = MatmulGPUApp(spec)
+    global_sizes: list[int] = []
+    local_sizes: list[int] = []
+    best_saving = 0.0
+    best_deg = 0.0
+    bs32_only = True
+    for n in sizes:
+        points = app.sweep_points(n)
+        g_front = pareto_front(points)
+        l_front = local_pareto_front(points, lambda p: p.config["bs"] <= 31)
+        global_sizes.append(len(g_front))
+        local_sizes.append(len(l_front))
+        if any(p.config["bs"] != 32 for p in g_front):
+            bs32_only = False
+        # The savings pool: global trade-offs when the global front is
+        # non-degenerate, local trade-offs otherwise (the paper's K40c
+        # methodology).
+        pool = points if len(g_front) > 1 else [
+            p for p in points if p.config["bs"] <= 31
+        ]
+        entry = max_energy_saving(pool)
+        if entry.energy_saving > best_saving:
+            best_saving = entry.energy_saving
+            best_deg = entry.perf_degradation
+    return DeviceHeadline(
+        device=spec.name,
+        sizes=sizes,
+        global_sizes=tuple(global_sizes),
+        local_sizes=tuple(local_sizes),
+        global_front_avg=statistics.mean(global_sizes),
+        global_front_max=max(global_sizes),
+        local_front_avg=statistics.mean(local_sizes),
+        local_front_max=max(local_sizes),
+        max_saving=best_saving,
+        max_saving_degradation=best_deg,
+        global_bs_always_32=bs32_only,
+    )
+
+
+def run(
+    sizes: dict[str, tuple[int, ...]] | None = None
+) -> HeadlineResult:
+    """Aggregate the headline statistics over the workload ranges."""
+    if sizes is None:
+        sizes = DEFAULT_SIZES
+    return HeadlineResult(
+        devices=(
+            _analyze(K40C, sizes["k40c"]),
+            _analyze(P100, sizes["p100"]),
+        )
+    )

@@ -1,0 +1,81 @@
+"""Measurement-method comparison study (the paper's [13]).
+
+The paper measures with a WattsUp Pro wall meter because the
+comparative study it cites ([13]) found system-level physical
+measurement to be "the most accurate mainstream method".  This
+experiment reproduces the comparison's structure on the simulated
+platforms: the wall-meter pipeline vs. the on-board (NVML) and on-chip
+(RAPL) channels, against simulator ground truth, over kernels of
+varying duration — exposing the board sensor's averaging-window error
+on short kernels and RAPL's domain under-coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import format_pct, format_table
+from repro.machines.specs import HASWELL, P100
+from repro.analysis.comparison import (
+    ComparisonResult,
+    compare_cpu_methods,
+    compare_gpu_methods,
+)
+from repro.simcpu.processor import DGEMMConfig, MulticoreCPU
+from repro.simgpu.device import GPUDevice
+
+__all__ = ["MethodsResult", "run"]
+
+
+@dataclass(frozen=True)
+class MethodsResult:
+    comparisons: tuple[ComparisonResult, ...]
+
+    def render(self) -> str:
+        rows = []
+        for c in self.comparisons:
+            for r in c.readings:
+                rows.append(
+                    (
+                        c.workload,
+                        r.method,
+                        f"{r.energy_j:.0f}",
+                        f"{c.ground_truth_j:.0f}",
+                        format_pct(r.relative_error),
+                    )
+                )
+        return format_table(
+            ["workload", "method", "measured (J)", "truth (J)", "error"],
+            rows,
+        )
+
+    def worst_error(self, method: str) -> float:
+        errs = [
+            abs(r.relative_error)
+            for c in self.comparisons
+            for r in c.readings
+            if r.method == method
+        ]
+        if not errs:
+            raise KeyError(f"no readings for {method!r}")
+        return max(errs)
+
+
+def run() -> MethodsResult:
+    """Compare methods over short and long GPU kernels plus a CPU run."""
+    comparisons = []
+
+    gpu = GPUDevice(P100)
+    # Short kernel: one product of a small matrix (sub-second) — the
+    # board sensor's averaging window dominates.
+    short = gpu.run_matmul(3072, 32, g=1, r=1)
+    comparisons.append(compare_gpu_methods(P100, short, seed=0))
+    # Long kernel: the averaging error amortizes, the bias remains.
+    long_run = gpu.run_matmul(8192, 32, g=1, r=24)
+    comparisons.append(compare_gpu_methods(P100, long_run, seed=1))
+
+    cpu = MulticoreCPU(HASWELL)
+    dgemm = cpu.run_dgemm(17408, DGEMMConfig("row", 2, 12))
+    comparisons.append(compare_cpu_methods(HASWELL, dgemm, seed=2))
+
+    return MethodsResult(comparisons=tuple(comparisons))

@@ -1,0 +1,118 @@
+"""Calibration sensitivity analysis.
+
+The shape claims (DESIGN.md §4) should be robust to moderate
+perturbations of the calibration constants — if a ±20% nudge of one
+constant flips a structural verdict, the reproduction would be
+fine-tuned rather than mechanistic.  This experiment perturbs each
+load-bearing constant in both directions and re-evaluates the two most
+structural verdicts:
+
+* K40c N=10240: global Pareto front has exactly one point, BS = 32;
+* P100 N=10240: global Pareto front has ≥ 2 points (a genuine
+  bi-objective trade-off exists).
+
+The report lists, per constant, how many of the perturbed settings
+preserve each verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.analysis.report import format_table
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core.pareto import pareto_front
+from repro.machines.specs import K40C, P100
+from repro.simcpu.calibration import HASWELL_CAL  # noqa: F401 (doc link)
+from repro.simgpu.calibration import K40C_CAL, P100_CAL
+
+__all__ = ["SensitivityRow", "SensitivityResult", "run", "PERTURBED_CONSTANTS"]
+
+#: Constants perturbed per device, with the perturbation factors.
+PERTURBED_CONSTANTS: tuple[str, ...] = (
+    "e_lane_j",
+    "e_dram_j_per_byte",
+    "p_act0_w",
+    "p_act1_w",
+    "leak_quad",
+    "replay_slope",
+    "mem_latency_cycles",
+)
+
+FACTORS = (0.8, 1.2)
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    constant: str
+    k40c_verdict_held: int  # out of len(FACTORS)
+    p100_verdict_held: int
+    trials: int
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    rows: tuple[SensitivityRow, ...]
+    n: int
+
+    def render(self) -> str:
+        return format_table(
+            [
+                "perturbed constant (±20%)",
+                "K40c 1-point front held",
+                "P100 multi-point front held",
+            ],
+            [
+                (
+                    r.constant,
+                    f"{r.k40c_verdict_held}/{r.trials}",
+                    f"{r.p100_verdict_held}/{r.trials}",
+                )
+                for r in self.rows
+            ],
+        )
+
+    @property
+    def fraction_held(self) -> float:
+        """Overall fraction of perturbed verdicts preserved."""
+        held = sum(r.k40c_verdict_held + r.p100_verdict_held for r in self.rows)
+        total = sum(2 * r.trials for r in self.rows)
+        return held / total
+
+
+def _k40c_verdict(cal, n) -> bool:
+    app = MatmulGPUApp(K40C, cal)
+    front = pareto_front(app.sweep_points(n))
+    return len(front) == 1 and front[0].config["bs"] == 32
+
+
+def _p100_verdict(cal, n) -> bool:
+    app = MatmulGPUApp(P100, cal)
+    return len(pareto_front(app.sweep_points(n))) >= 2
+
+
+def run(n: int = 10240) -> SensitivityResult:
+    """Perturb each constant ±20% and re-check the structural verdicts."""
+    rows = []
+    for name in PERTURBED_CONSTANTS:
+        k_held = 0
+        p_held = 0
+        for factor in FACTORS:
+            k_cal = dataclasses.replace(
+                K40C_CAL, **{name: getattr(K40C_CAL, name) * factor}
+            )
+            p_cal = dataclasses.replace(
+                P100_CAL, **{name: getattr(P100_CAL, name) * factor}
+            )
+            k_held += _k40c_verdict(k_cal, n)
+            p_held += _p100_verdict(p_cal, n)
+        rows.append(
+            SensitivityRow(
+                constant=name,
+                k40c_verdict_held=k_held,
+                p100_verdict_held=p_held,
+                trials=len(FACTORS),
+            )
+        )
+    return SensitivityResult(rows=tuple(rows), n=n)

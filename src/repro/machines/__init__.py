@@ -1,0 +1,23 @@
+"""Machine specification registry (paper Table I)."""
+
+from repro.machines.specs import (
+    HASWELL,
+    K40C,
+    MACHINES,
+    P100,
+    CacheSpec,
+    CPUSpec,
+    GPUSpec,
+    get_machine,
+)
+
+__all__ = [
+    "CacheSpec",
+    "CPUSpec",
+    "GPUSpec",
+    "HASWELL",
+    "K40C",
+    "P100",
+    "MACHINES",
+    "get_machine",
+]

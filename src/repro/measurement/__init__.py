@@ -1,0 +1,39 @@
+"""Measurement substrate: WattsUp Pro simulation, HCLWattsUp energy
+extraction, and the paper's Student-t repetition protocol."""
+
+from repro.measurement.hclwattsup import EnergyReading, HCLWattsUp
+from repro.measurement.powermeter import (
+    PowerMeter,
+    PowerPhase,
+    PowerSample,
+    PowerTrace,
+)
+from repro.measurement.runner import DataPoint, ExperimentRunner
+from repro.measurement.session import MeasurementSession, SessionRecord
+from repro.measurement.stats import (
+    MeasurementResult,
+    NormalityCheck,
+    confidence_halfwidth,
+    pearson_normality_check,
+    required_runs_estimate,
+    run_until_confident,
+)
+
+__all__ = [
+    "PowerPhase",
+    "PowerTrace",
+    "PowerSample",
+    "PowerMeter",
+    "EnergyReading",
+    "HCLWattsUp",
+    "DataPoint",
+    "ExperimentRunner",
+    "MeasurementSession",
+    "SessionRecord",
+    "MeasurementResult",
+    "NormalityCheck",
+    "confidence_halfwidth",
+    "run_until_confident",
+    "required_runs_estimate",
+    "pearson_normality_check",
+]

@@ -1,0 +1,132 @@
+"""Experiment runner: the paper's end-to-end measurement loop.
+
+One *experimental data point* in the paper is the (execution time,
+dynamic energy) pair of one application configuration, obtained by
+running the configuration repeatedly until both sample means satisfy
+the Student-t protocol (95% confidence, 2.5% precision).
+
+:class:`ExperimentRunner` drives that loop over any *trial* callable —
+a function that executes the configuration once and returns the
+measured ``(time_s, dynamic_energy_j)`` for that run.  The trial
+typically wraps: device simulator → :class:`PowerTrace` →
+:class:`HCLWattsUp`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.measurement.stats import confidence_halfwidth
+
+__all__ = ["DataPoint", "ExperimentRunner"]
+
+#: A trial executes the configuration once: () -> (time_s, dynamic_energy_j).
+Trial = Callable[[], tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One converged experimental data point.
+
+    Attributes
+    ----------
+    time_s / energy_j:
+        Sample means of execution time and dynamic energy.
+    time_precision / energy_precision:
+        Achieved relative CI half-widths.
+    n_runs:
+        Repetitions performed.
+    converged:
+        Whether both precisions met the target within ``max_runs``.
+    """
+
+    time_s: float
+    energy_j: float
+    time_precision: float
+    energy_precision: float
+    n_runs: int
+    converged: bool
+
+
+class ExperimentRunner:
+    """Repeat a trial until time *and* energy means are precise enough.
+
+    Parameters mirror the paper's protocol.  The two observables share
+    runs: each trial contributes one observation to both series, and
+    the loop stops when both CIs are within the precision target.
+    """
+
+    def __init__(
+        self,
+        *,
+        precision: float = 0.025,
+        confidence: float = 0.95,
+        min_runs: int = 5,
+        max_runs: int = 500,
+    ) -> None:
+        if not (0.0 < precision < 1.0):
+            raise ValueError("precision must be a fraction in (0, 1)")
+        if min_runs < 2:
+            raise ValueError("min_runs must be at least 2")
+        if max_runs < min_runs:
+            raise ValueError("max_runs must be >= min_runs")
+        self.precision = precision
+        self.confidence = confidence
+        self.min_runs = min_runs
+        self.max_runs = max_runs
+
+    def measure(self, trial: Trial) -> DataPoint:
+        """Run the protocol; returns the converged data point.
+
+        Raises
+        ------
+        ValueError
+            If a trial reports a non-finite or non-positive time, or a
+            negative energy.  (Zero dynamic energy is admitted — an
+            idle-equivalent configuration measures as zero — and is
+            treated as converged for the energy series.)
+        """
+        times: list[float] = []
+        energies: list[float] = []
+        while len(times) < self.max_runs:
+            t, e = trial()
+            t, e = float(t), float(e)
+            if not math.isfinite(t) or t <= 0:
+                raise ValueError(f"trial returned invalid time {t!r}")
+            if not math.isfinite(e) or e < 0:
+                raise ValueError(f"trial returned invalid energy {e!r}")
+            times.append(t)
+            energies.append(e)
+            if len(times) < self.min_runs:
+                continue
+            tp = self._relative_precision(times)
+            ep = self._relative_precision(energies)
+            if tp <= self.precision and ep <= self.precision:
+                return DataPoint(
+                    time_s=float(np.mean(times)),
+                    energy_j=float(np.mean(energies)),
+                    time_precision=tp,
+                    energy_precision=ep,
+                    n_runs=len(times),
+                    converged=True,
+                )
+        return DataPoint(
+            time_s=float(np.mean(times)),
+            energy_j=float(np.mean(energies)),
+            time_precision=self._relative_precision(times),
+            energy_precision=self._relative_precision(energies),
+            n_runs=len(times),
+            converged=False,
+        )
+
+    def _relative_precision(self, obs: list[float]) -> float:
+        arr = np.asarray(obs)
+        mean = float(arr.mean())
+        if mean == 0.0:
+            # All-zero series (e.g. zero dynamic energy): exactly known.
+            return 0.0 if float(arr.std()) == 0.0 else math.inf
+        return confidence_halfwidth(arr, self.confidence) / mean

@@ -1,0 +1,160 @@
+"""Resumable measurement sessions.
+
+A full weak-EP study measures every configuration through the
+repetition protocol — hours of wall time on a real testbed.  The
+HCLWattsUp workflow therefore checkpoints after every data point; this
+module provides the same capability: a :class:`MeasurementSession`
+appends each converged data point to a JSONL store keyed by the
+configuration, and skips configurations already measured when the
+session is reopened.
+
+The store is line-oriented JSON so a crashed run loses at most the
+in-flight point, and the file remains greppable/diffable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Hashable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.core.pareto import ParetoPoint
+from repro.measurement.runner import DataPoint, ExperimentRunner
+
+__all__ = ["SessionRecord", "MeasurementSession"]
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One persisted data point."""
+
+    config: dict[str, Any]
+    time_s: float
+    energy_j: float
+    n_runs: int
+    converged: bool
+
+    def to_point(self) -> ParetoPoint:
+        return ParetoPoint(self.time_s, self.energy_j, config=self.config)
+
+
+def _key(config: Mapping[str, Any]) -> str:
+    """Canonical key for a configuration dict."""
+    return json.dumps(dict(config), sort_keys=True)
+
+
+class MeasurementSession:
+    """Append-only store of converged measurements.
+
+    Parameters
+    ----------
+    path:
+        JSONL file; created on first write, loaded on construction.
+    runner:
+        Protocol runner for new measurements (the paper's defaults).
+    """
+
+    def __init__(
+        self, path: str | Path, runner: ExperimentRunner | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.runner = runner if runner is not None else ExperimentRunner()
+        self._records: dict[str, SessionRecord] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for lineno, line in enumerate(
+            self.path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                record = SessionRecord(
+                    config=raw["config"],
+                    time_s=float(raw["time_s"]),
+                    energy_j=float(raw["energy_j"]),
+                    n_runs=int(raw["n_runs"]),
+                    converged=bool(raw["converged"]),
+                )
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+                raise ValueError(
+                    f"{self.path}:{lineno}: corrupt session record: {exc}"
+                ) from exc
+            self._records[_key(record.config)] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, config: Mapping[str, Any]) -> bool:
+        return _key(config) in self._records
+
+    def get(self, config: Mapping[str, Any]) -> SessionRecord | None:
+        return self._records.get(_key(config))
+
+    def records(self) -> list[SessionRecord]:
+        return list(self._records.values())
+
+    def points(self) -> list[ParetoPoint]:
+        """All stored measurements as analysis-ready points."""
+        return [r.to_point() for r in self._records.values()]
+
+    def _append(self, record: SessionRecord) -> None:
+        with self.path.open("a") as fh:
+            fh.write(
+                json.dumps(
+                    {
+                        "config": record.config,
+                        "time_s": record.time_s,
+                        "energy_j": record.energy_j,
+                        "n_runs": record.n_runs,
+                        "converged": record.converged,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        self._records[_key(record.config)] = record
+
+    def measure(
+        self,
+        config: Mapping[str, Any],
+        trial_factory: Callable[[Mapping[str, Any]], Callable[[], tuple[float, float]]],
+    ) -> SessionRecord:
+        """Measure one configuration, reusing a stored result if present.
+
+        ``trial_factory(config)`` must return the zero-argument trial
+        callable the protocol repeats.  Only *converged* points are
+        persisted — a non-converged protocol outcome raises so the
+        caller can widen ``max_runs`` rather than silently storing a
+        low-quality point.
+        """
+        existing = self.get(config)
+        if existing is not None:
+            return existing
+        dp: DataPoint = self.runner.measure(trial_factory(config))
+        if not dp.converged:
+            raise RuntimeError(
+                f"protocol did not converge for {dict(config)!r} within "
+                f"{self.runner.max_runs} runs"
+            )
+        record = SessionRecord(
+            config=dict(config),
+            time_s=dp.time_s,
+            energy_j=dp.energy_j,
+            n_runs=dp.n_runs,
+            converged=True,
+        )
+        self._append(record)
+        return record
+
+    def sweep(
+        self,
+        configs: list[Mapping[str, Any]],
+        trial_factory: Callable[[Mapping[str, Any]], Callable[[], tuple[float, float]]],
+    ) -> list[SessionRecord]:
+        """Measure every configuration, skipping stored ones."""
+        return [self.measure(cfg, trial_factory) for cfg in configs]

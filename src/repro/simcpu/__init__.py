@@ -1,0 +1,61 @@
+"""Multicore CPU simulator substrate: topology, utilization accounting
+with contention imbalance, component power (incl. dTLB walks), and
+/proc/stat emulation."""
+
+from repro.simcpu.calibration import (
+    CPUCalibration,
+    HASWELL_CAL,
+    LIBRARIES,
+    LibraryProfile,
+)
+from repro.simcpu.power import CPUPowerBreakdown, cpu_power, page_walk_rate
+from repro.simcpu.processor import (
+    CPURunResult,
+    DGEMMConfig,
+    MulticoreCPU,
+    PARTITIONS,
+)
+from repro.simcpu.procstat import (
+    ProcStatSnapshot,
+    parse_proc_stat,
+    render_proc_stat,
+    utilizations_between,
+)
+from repro.simcpu.rapl import (
+    RAPLCounters,
+    RAPLReading,
+    rapl_energy_j,
+)
+from repro.simcpu.topology import LogicalCPU, Placement, place_threads
+from repro.simcpu.utilization import (
+    UtilizationVector,
+    contention_jitter,
+    utilization_vector,
+)
+
+__all__ = [
+    "CPUCalibration",
+    "HASWELL_CAL",
+    "LibraryProfile",
+    "LIBRARIES",
+    "CPUPowerBreakdown",
+    "cpu_power",
+    "page_walk_rate",
+    "CPURunResult",
+    "DGEMMConfig",
+    "MulticoreCPU",
+    "PARTITIONS",
+    "ProcStatSnapshot",
+    "parse_proc_stat",
+    "render_proc_stat",
+    "utilizations_between",
+    "RAPLCounters",
+    "RAPLReading",
+    "rapl_energy_j",
+    "LogicalCPU",
+    "Placement",
+    "place_threads",
+    "UtilizationVector",
+    "contention_jitter",
+    "utilization_vector",
+]

@@ -1,0 +1,127 @@
+"""/proc/stat emulation and parsing.
+
+The paper obtains average CPU utilization from the ``/proc/stat``
+interface: "The first 'cpu' line aggregates the numbers in all of the
+other 'cpuN' lines, one line per core.  Since the multicore CPU
+processor has 48 logical cores, there are 49 lines in total."
+
+This module renders a :class:`~repro.simcpu.utilization.UtilizationVector`
+into the same text format (jiffies split into user/system/idle columns)
+and provides the complementary parser that computes utilizations from
+two snapshots — the exact pipeline a measurement script runs on the
+real machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.specs import CPUSpec
+from repro.simcpu.utilization import UtilizationVector
+
+__all__ = ["ProcStatSnapshot", "render_proc_stat", "parse_proc_stat", "utilizations_between"]
+
+#: Jiffies per second on the modelled kernel (CONFIG_HZ=100).
+USER_HZ = 100
+
+#: Columns of a /proc/stat cpu line we emit (kernel ≥ 2.6.33 emits 10).
+_COLUMNS = ("user", "nice", "system", "idle", "iowait", "irq", "softirq", "steal", "guest", "guest_nice")
+
+
+@dataclass(frozen=True)
+class ProcStatSnapshot:
+    """Parsed jiffy counters: one row per cpu line (aggregate first)."""
+
+    labels: tuple[str, ...]
+    busy: tuple[int, ...]
+    idle: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not (len(self.labels) == len(self.busy) == len(self.idle)):
+            raise ValueError("snapshot rows must align")
+
+
+def render_proc_stat(
+    spec: CPUSpec,
+    util: UtilizationVector,
+    duration_s: float,
+    *,
+    base_busy_jiffies: int = 0,
+    base_idle_jiffies: int = 0,
+) -> str:
+    """Render the /proc/stat text after ``duration_s`` of the given load.
+
+    Busy jiffies of cpuN grow by ``util_N · duration · USER_HZ`` (split
+    90/10 between user and system, like a compute-bound run); idle
+    jiffies absorb the rest.  ``base_*`` offset the counters so two
+    snapshots can be diffed.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    lines = []
+    rows = []
+    for u in util.per_cpu:
+        busy = int(round(u * duration_s * USER_HZ)) + base_busy_jiffies
+        idle = (
+            int(round((1.0 - u) * duration_s * USER_HZ)) + base_idle_jiffies
+        )
+        rows.append((busy, idle))
+    total_busy = sum(b for b, _ in rows)
+    total_idle = sum(i for _, i in rows)
+
+    def line(label: str, busy: int, idle: int) -> str:
+        user = int(busy * 0.9)
+        system = busy - user
+        cols = [user, 0, system, idle, 0, 0, 0, 0, 0, 0]
+        return label + "  " + " ".join(str(c) for c in cols)
+
+    lines.append(line("cpu", total_busy, total_idle))
+    for i, (busy, idle) in enumerate(rows):
+        lines.append(line(f"cpu{i}", busy, idle))
+    lines.append("intr 0")
+    lines.append("ctxt 0")
+    return "\n".join(lines) + "\n"
+
+
+def parse_proc_stat(text: str) -> ProcStatSnapshot:
+    """Parse the cpu lines of a /proc/stat dump into jiffy counters."""
+    labels: list[str] = []
+    busy: list[int] = []
+    idle: list[int] = []
+    for raw in text.splitlines():
+        if not raw.startswith("cpu"):
+            continue
+        parts = raw.split()
+        label, values = parts[0], [int(v) for v in parts[1:]]
+        if len(values) < 4:
+            raise ValueError(f"malformed cpu line: {raw!r}")
+        named = dict(zip(_COLUMNS, values + [0] * (len(_COLUMNS) - len(values))))
+        idle_j = named["idle"] + named["iowait"]
+        busy_j = sum(named[c] for c in _COLUMNS) - idle_j
+        labels.append(label)
+        busy.append(busy_j)
+        idle.append(idle_j)
+    if not labels or labels[0] != "cpu":
+        raise ValueError("missing aggregate 'cpu' line")
+    return ProcStatSnapshot(tuple(labels), tuple(busy), tuple(idle))
+
+
+def utilizations_between(
+    before: ProcStatSnapshot, after: ProcStatSnapshot
+) -> list[float]:
+    """Per-line utilizations between two snapshots (aggregate first).
+
+    ``util = Δbusy / (Δbusy + Δidle)``; lines with no elapsed jiffies
+    report 0.  This is the standard top(1)-style computation the
+    paper's methodology relies on.
+    """
+    if before.labels != after.labels:
+        raise ValueError("snapshots come from different machines")
+    utils = []
+    for b0, i0, b1, i1 in zip(before.busy, before.idle, after.busy, after.idle):
+        db, di = b1 - b0, i1 - i0
+        if db < 0 or di < 0:
+            raise ValueError("counters went backwards; snapshots swapped?")
+        total = db + di
+        utils.append(db / total if total > 0 else 0.0)
+    return utils

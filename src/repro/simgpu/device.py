@@ -1,0 +1,255 @@
+"""GPU device facade: run the blocked matmul and report (time, energy).
+
+:class:`GPUDevice` ties the pieces together:
+
+``(N, BS, G, R)`` → kernel resources → occupancy → per-tile-step
+pipeline timing → DVFS operating point → component power → the
+``(execution time, dynamic energy)`` pair the paper measures for each
+application configuration.
+
+The timing model (per tile step, per block, in core cycles):
+
+* ``compute`` — shared-load-bound issue cycles
+  (:mod:`repro.simgpu.kernel`);
+* ``mem`` — global-memory latency plus tile transfer at the SM's
+  bandwidth share;
+* the kernel is *not* double-buffered (load → sync → compute → sync),
+  so one block's tile-load latency can only hide under *other* resident
+  blocks' compute.  With ``c`` resident blocks the steady-state cycles
+  per tile step per block are ``max(compute, (compute + mem)/c)`` —
+  issue-bound once ``c·compute`` covers the load phase, latency-bound
+  otherwise.  Occupancy therefore buys time only while there is latency
+  left to hide; beyond that, extra resident warps cost activity power
+  for no speedup — one of the paper's nonproportionality mechanisms.
+
+A whole-launch DRAM roofline (bandwidth saturating with resident
+warps) bounds the result from below.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration, calibration_for
+from repro.simgpu.dvfs import OperatingPoint, solve_operating_clock
+from repro.simgpu.kernel import KernelResources, matmul_kernel_resources
+from repro.simgpu.occupancy import Occupancy, compute_occupancy
+from repro.simgpu.power import PowerBreakdown, kernel_power
+
+__all__ = ["KernelRunResult", "GPUDevice"]
+
+
+@dataclass(frozen=True)
+class KernelRunResult:
+    """Modelled outcome of R launches of a (N, BS, G) kernel.
+
+    ``time_s`` and ``dynamic_energy_j`` cover the CUDA kernel
+    invocations only, exactly like the paper's measurements ("the
+    dynamic energy and execution time are measured only for the CUDA
+    kernel invocations").
+    """
+
+    time_s: float
+    dynamic_energy_j: float
+    dynamic_power_w: float
+    clock_hz: float
+    throttled: bool
+    occupancy: Occupancy
+    power: PowerBreakdown
+    resources: KernelResources
+    #: Number of launches (R) covered by ``time_s``/``dynamic_energy_j``.
+    r: int
+    #: Time of one product inside a launch, for additivity analysis.
+    product_time_s: float
+
+
+class GPUDevice:
+    """Analytical model of one GPU running the paper's matmul kernel.
+
+    Parameters
+    ----------
+    spec:
+        Machine specification (``repro.machines.K40C`` or ``P100``).
+    cal:
+        Calibration constants; defaults to the device's calibration.
+    """
+
+    def __init__(self, spec: GPUSpec, cal: GPUCalibration | None = None) -> None:
+        self.spec = spec
+        self.cal = cal if cal is not None else calibration_for(spec)
+
+    # -- timing -----------------------------------------------------------
+
+    def _product_time_s(
+        self, res: KernelResources, occ: Occupancy, clock_hz: float
+    ) -> float:
+        """Time of one matmul product at the given core clock."""
+        spec, cal = self.spec, self.cal
+        c = occ.blocks_per_sm
+        bw_per_sm_bytes_per_cycle = spec.mem_bandwidth_bps / (
+            clock_hz * spec.sm_count
+        )
+        mem_cycles = (
+            cal.mem_latency_cycles
+            + res.tile_fetch_bytes / bw_per_sm_bytes_per_cycle
+        )
+        compute = res.compute_cycles_per_kstep
+        per_block = max(compute, (compute + mem_cycles) / c)
+        blocks_share = math.ceil(res.grid_blocks / spec.sm_count)
+        t_pipe = blocks_share * res.ksteps_per_product * per_block / clock_hz
+
+        bw_sat = min(1.0, occ.active_warps_per_sm / cal.warps_to_saturate_bw)
+        t_dram = (res.total_dram_bytes / res.g) / (
+            spec.mem_bandwidth_bps * bw_sat
+        )
+        return max(t_pipe, t_dram)
+
+    def _launch_time_s(self, product_time_s: float, g: int) -> float:
+        return self.cal.launch_overhead_s + g * product_time_s
+
+    # -- power ------------------------------------------------------------
+
+    def _power_at(
+        self, res: KernelResources, occ: Occupancy, clock_hz: float
+    ) -> tuple[PowerBreakdown, float, float]:
+        """(power, product_time, launch_time) at one clock."""
+        t_product = self._product_time_s(res, occ, clock_hz)
+        t_launch = self._launch_time_s(t_product, res.g)
+        power = kernel_power(
+            self.spec,
+            self.cal,
+            lane_rate_per_s=res.lanes_issued / (res.g * t_product),
+            dram_bytes_per_s=res.total_dram_bytes / (res.g * t_product),
+            occupancy=occ.warp_occupancy,
+            n=res.n,
+            g=res.g,
+            product_time_s=t_product,
+            active_time_s=t_launch,
+            clock_hz=clock_hz,
+        )
+        return power, t_product, t_launch
+
+    # -- public API --------------------------------------------------------
+
+    def run_matmul(
+        self,
+        n: int,
+        bs: int,
+        g: int = 1,
+        r: int = 1,
+        *,
+        rng: np.random.Generator | None = None,
+        fixed_clock: bool = False,
+        pinned_clock_hz: float | None = None,
+    ) -> KernelRunResult:
+        """Model R launches of the (N, BS, G) kernel.
+
+        With ``rng`` given, applies run-to-run execution-time jitter
+        (calibrated 1-sigma ``time_jitter``) and a smaller independent
+        power jitter, modelling OS/driver noise — the variation the
+        paper's Student-t protocol averages away.
+
+        ``fixed_clock=True`` pins the core clock to the base clock
+        (``nvidia-smi -ac`` style), disabling autoboost and the power
+        cap — the standard practice for profiling/additivity studies
+        where clock wander would confound the measurement.
+        ``pinned_clock_hz`` pins an arbitrary application clock from
+        the part's ladder instead (implies fixed-clock semantics); it
+        must lie within [40% of base, boost].
+        """
+        if r < 1:
+            raise ValueError("R must be at least 1")
+        if pinned_clock_hz is not None:
+            lo = 0.4 * self.spec.base_clock_hz
+            hi = self.spec.boost_clock_hz
+            if not (lo <= pinned_clock_hz <= hi):
+                raise ValueError(
+                    f"pinned clock {pinned_clock_hz/1e6:.0f} MHz outside "
+                    f"the supported ladder [{lo/1e6:.0f}, {hi/1e6:.0f}] MHz"
+                )
+        res = matmul_kernel_resources(self.spec, self.cal, n, bs, g)
+        occ = compute_occupancy(
+            self.spec, res.threads_per_block, res.smem_per_block_bytes
+        )
+
+        def board_power(clock_hz: float) -> float:
+            power, _, _ = self._power_at(res, occ, clock_hz)
+            return self.spec.idle_power_w + power.dynamic_w
+
+        if pinned_clock_hz is not None:
+            # An application clock is a *maximum*: the power cap still
+            # applies, so a hot pin above the sustainable clock gets
+            # throttled down exactly like autoboost would be.
+            p_pinned = board_power(pinned_clock_hz)
+            if self.spec.has_autoboost and p_pinned > self.cal.power_cap_w:
+                op = solve_operating_clock(self.spec, self.cal, board_power)
+                op = OperatingPoint(
+                    clock_hz=min(op.clock_hz, pinned_clock_hz),
+                    board_power_w=board_power(
+                        min(op.clock_hz, pinned_clock_hz)
+                    ),
+                    throttled=True,
+                )
+            else:
+                op = OperatingPoint(
+                    clock_hz=pinned_clock_hz,
+                    board_power_w=p_pinned,
+                    throttled=False,
+                )
+        elif fixed_clock:
+            op = OperatingPoint(
+                clock_hz=self.spec.base_clock_hz,
+                board_power_w=board_power(self.spec.base_clock_hz),
+                throttled=False,
+            )
+        else:
+            op = solve_operating_clock(self.spec, self.cal, board_power)
+        clock_hz = op.clock_hz
+        throttled = op.throttled
+        if throttled and self.spec.has_autoboost:
+            # Thermal inertia: throttling only takes hold once the die
+            # heat-soaks.  A measurement sequence much shorter than the
+            # thermal time constant runs (mostly) in the cold boost
+            # window at full voltage; long sequences settle at the cap.
+            # Blend the operating clock by the heat-soak fraction.
+            _, t_p_boost, t_l_boost = self._power_at(
+                res, occ, self.spec.boost_clock_hz
+            )
+            total_boost_s = r * t_l_boost
+            soak = 1.0 - math.exp(-total_boost_s / self.cal.thermal_tau_s)
+            clock_hz = (
+                self.spec.boost_clock_hz * (1.0 - soak) + op.clock_hz * soak
+            )
+            throttled = soak > 0.5
+        power, t_product, t_launch = self._power_at(res, occ, clock_hz)
+
+        time_s = r * t_launch
+        energy_j = power.dynamic_w * time_s
+        if rng is not None:
+            tj = self.cal.time_jitter
+            time_s *= max(0.5, 1.0 + tj * rng.standard_normal())
+            energy_j = power.dynamic_w * time_s
+            energy_j *= max(0.5, 1.0 + 0.4 * tj * rng.standard_normal())
+
+        return KernelRunResult(
+            time_s=time_s,
+            dynamic_energy_j=energy_j,
+            dynamic_power_w=power.dynamic_w,
+            clock_hz=clock_hz,
+            throttled=throttled,
+            occupancy=occ,
+            power=power,
+            resources=res,
+            r=r,
+            product_time_s=t_product,
+        )
+
+    def performance_gflops(self, result: KernelRunResult) -> float:
+        """Useful double-precision GFLOP/s of a modelled run."""
+        if result.time_s <= 0:
+            return 0.0
+        return result.r * result.resources.useful_flops / result.time_s / 1e9

@@ -1,0 +1,138 @@
+"""NVML board-power sensor emulation.
+
+The paper's energy methodology uses system-level wall-power meters
+because, per the comparative study it cites ([13], Fahad et al.,
+Energies 2019), on-board/on-chip sensors carry significant systematic
+error.  This module models the NVML ``nvmlDeviceGetPowerUsage``
+channel for the simulated GPUs so the comparison experiment
+(:mod:`repro.measurement.comparison`) can reproduce that finding:
+
+* the sensor reports *board* power (idle + dynamic) in milliwatts,
+* readings are low-pass filtered: the firmware averages over a window
+  (~1 s on these parts), so short power excursions are smeared,
+* the sensed value carries a calibration bias (typically a few percent
+  low on Kepler-class boards: the sensor sits behind the input VRMs)
+  plus quantization,
+* polling faster than the update period returns repeated values.
+
+Integrating NVML samples therefore *underestimates* the energy of
+short kernels and misses host-side consumption entirely — the
+systematic error the paper's wall-meter methodology avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machines.specs import GPUSpec
+from repro.measurement.powermeter import PowerTrace
+
+__all__ = ["NVMLSample", "NVMLSensor"]
+
+
+@dataclass(frozen=True)
+class NVMLSample:
+    """One nvmlDeviceGetPowerUsage reading."""
+
+    t_s: float
+    power_mw: int
+
+    @property
+    def power_w(self) -> float:
+        return self.power_mw / 1000.0
+
+
+@dataclass
+class NVMLSensor:
+    """Simulated NVML power channel for one GPU board.
+
+    Attributes
+    ----------
+    spec:
+        The GPU whose board is sensed.
+    averaging_window_s:
+        Firmware low-pass window (K40c/P100 class: ~1 s).
+    update_period_s:
+        Rate at which the firmware refreshes the register; faster polls
+        see the same value.
+    bias:
+        Multiplicative calibration bias (< 1: reads low).
+    noise_fraction:
+        1-sigma relative sensor noise per refresh.
+    """
+
+    spec: GPUSpec
+    averaging_window_s: float = 1.0
+    update_period_s: float = 0.1
+    bias: float = 0.96
+    noise_fraction: float = 0.015
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.averaging_window_s <= 0 or self.update_period_s <= 0:
+            raise ValueError("window and update period must be positive")
+        if not (0.0 < self.bias <= 1.5):
+            raise ValueError("bias must be a sane multiplicative factor")
+        if self.noise_fraction < 0:
+            raise ValueError("noise must be non-negative")
+
+    def _true_board_power(self, trace: PowerTrace, t: float) -> float:
+        """Board power = GPU idle + dynamic (trace carries dynamic).
+
+        Before the trace starts (t < 0) the board idles — the firmware
+        boxcar therefore smears the kernel onset, the key error source
+        for short kernels.
+        """
+        if t < 0:
+            return self.spec.idle_power_w
+        return self.spec.idle_power_w + trace.power_at(t)
+
+    def _filtered_power(self, trace: PowerTrace, t: float) -> float:
+        """Boxcar average of board power over the trailing window."""
+        start = t - self.averaging_window_s
+        # Integrate the piecewise-constant trace over [start, t].
+        steps = 64
+        xs = np.linspace(start, t, steps)
+        vals = [self._true_board_power(trace, float(x)) for x in xs]
+        return float(np.mean(vals))
+
+    def poll(self, trace: PowerTrace, t_s: float) -> NVMLSample:
+        """One reading at time ``t_s`` from the start of the trace."""
+        if t_s < 0:
+            raise ValueError("time must be non-negative")
+        # Register updates at a fixed cadence; polls between refreshes
+        # see the previous value.
+        refresh_t = (t_s // self.update_period_s) * self.update_period_s
+        value = self._filtered_power(trace, refresh_t) * self.bias
+        # Per-refresh noise keyed by the refresh index so repeated polls
+        # of one register value agree.
+        idx = int(refresh_t / self.update_period_s)
+        noise_rng = np.random.default_rng([self.seed, idx])
+        value *= 1.0 + self.noise_fraction * noise_rng.standard_normal()
+        return NVMLSample(t_s=t_s, power_mw=max(0, int(round(value * 1000.0))))
+
+    def measure_energy_j(
+        self, trace: PowerTrace, *, poll_interval_s: float = 0.1
+    ) -> float:
+        """Integrate polled *dynamic* power over the trace duration.
+
+        Subtracts the board idle power (an NVML-based tool knows the
+        board idle from its own baseline read), then rectangle-rule
+        integrates.  For kernels shorter than the averaging window the
+        result underestimates badly — the systematic error [13]
+        documents.
+        """
+        if poll_interval_s <= 0:
+            raise ValueError("poll interval must be positive")
+        duration = trace.total_duration_s
+        n = max(1, int(np.ceil(duration / poll_interval_s)))
+        total = 0.0
+        for i in range(n):
+            t = min((i + 0.5) * poll_interval_s, duration)
+            sample = self.poll(trace, t)
+            dyn = max(0.0, sample.power_w - self.spec.idle_power_w * self.bias)
+            covered = min(poll_interval_s, duration - i * poll_interval_s)
+            total += dyn * covered
+        return total

@@ -1,0 +1,125 @@
+"""GPU component power model.
+
+Dynamic board power during a kernel is the sum of:
+
+* **Compute** — energy per issued warp-lane slot (FMA + two shared
+  loads) times the issue rate.  Lane slots include wasted lanes of
+  partial warps and shared-memory replays: dark lanes still clock.
+* **DRAM** — access energy per byte times the DRAM byte rate.
+* **Activity floor** — clock distribution, warp schedulers and register
+  file standby: a base term plus a term proportional to occupancy.
+  This is the component that makes *resident-but-idle* warps expensive
+  and decouples energy from performance for issue-bound kernels.
+* **Auxiliary component** — the paper's 58 W constant-power activity
+  during inter-group windows, active only below the device's
+  additivity-threshold matrix size (Section V.A, Fig. 6).
+
+Core-clocked components scale as ``(f/f_base)^volt_exp`` along the DVFS
+curve (V²f scaling); DRAM power does not scale with core clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+
+__all__ = ["PowerBreakdown", "aux_decay", "kernel_power"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average dynamic power of one kernel launch, by component (watts)."""
+
+    compute_w: float
+    dram_w: float
+    activity_w: float
+    aux_w: float
+    #: Temperature-driven leakage *excess* over the cold-idle baseline.
+    #: The wall-meter methodology subtracts an idle (cold) baseline, so
+    #: the extra leakage of a hot die is measured as dynamic energy.
+    leakage_w: float
+
+    @property
+    def dynamic_w(self) -> float:
+        return (
+            self.compute_w
+            + self.dram_w
+            + self.activity_w
+            + self.aux_w
+            + self.leakage_w
+        )
+
+
+def aux_decay(spec: GPUSpec, n: int) -> float:
+    """Strength of the auxiliary component at matrix size N, ∈ [0, 1].
+
+    Full strength for tiny matrices, decaying quartically to zero at
+    the device's additivity threshold (paper: "the non-additivity keeps
+    decreasing before becoming zero for matrix sizes exceeding
+    N=15360" on the P100; N=10240 on the K40c).  The quartic keeps the
+    component near full strength through mid-range sizes (the Fig. 6
+    plots stay strongly non-additive up to ~N=10240 on the P100) and
+    collapses it near the threshold.
+    """
+    if n < 1:
+        raise ValueError("N must be positive")
+    ratio = n / spec.additivity_threshold_n
+    return max(0.0, 1.0 - ratio**4)
+
+
+def kernel_power(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    *,
+    lane_rate_per_s: float,
+    dram_bytes_per_s: float,
+    occupancy: float,
+    n: int,
+    g: int,
+    product_time_s: float,
+    active_time_s: float,
+    clock_hz: float,
+) -> PowerBreakdown:
+    """Average dynamic power over one kernel launch.
+
+    ``lane_rate_per_s`` and ``dram_bytes_per_s`` are launch-average
+    rates at the operating clock; ``product_time_s`` is the duration of
+    one product inside the launch and ``active_time_s`` the whole
+    launch duration (= G·product time plus overheads).
+    """
+    if active_time_s <= 0 or product_time_s <= 0:
+        raise ValueError("times must be positive")
+    if not (0.0 < occupancy <= 1.0):
+        raise ValueError("occupancy must be in (0, 1]")
+    scale = (clock_hz / spec.base_clock_hz) ** (cal.volt_exp - 1.0)
+    act_scale = (clock_hz / spec.base_clock_hz) ** cal.volt_exp
+
+    compute = cal.e_lane_j * scale * lane_rate_per_s
+    dram = cal.e_dram_j_per_byte * dram_bytes_per_s
+    # Activity power is superlinear in occupancy on parts with
+    # fine-grained clock gating (occ_exp > 1: near-zero draw at low
+    # residency, steep near full residency); Kepler-class coarse gating
+    # is occ_exp = 1 with a large base term.
+    activity = (
+        cal.p_act0_w + cal.p_act1_w * occupancy**cal.occ_exp
+    ) * act_scale
+    # The auxiliary component draws aux_power_w during the (G-1)
+    # inter-group windows, each lasting one product time; averaged over
+    # the launch.
+    aux_energy = cal.aux_power_w * aux_decay(spec, n) * (g - 1) * product_time_s
+    aux = aux_energy / active_time_s
+    # Steady-state die temperature rises roughly linearly with electrical
+    # power and leakage rises superlinearly with temperature; the
+    # quadratic term captures the composition.  Measured against a
+    # cold-idle baseline this excess leakage is part of *dynamic* energy.
+    electrical = compute + dram + activity + aux
+    leakage = cal.leak_quad * electrical * electrical / 100.0
+    return PowerBreakdown(
+        compute_w=compute,
+        dram_w=dram,
+        activity_w=activity,
+        aux_w=aux,
+        leakage_w=leakage,
+    )

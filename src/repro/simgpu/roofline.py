@@ -1,0 +1,111 @@
+"""Roofline placement of kernel launches.
+
+Classifies a kernel configuration against the device's compute and
+memory rooflines and reports which resource binds in the pipeline
+model — the diagnostic that explains the simulator's (and the paper's)
+BS structure: tiny tiles drown in DRAM traffic and latency, the
+BS ∈ [16, 32] band is shared-memory-issue bound, and BS = 32 wins by
+shedding replays, not by bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration, calibration_for
+from repro.simgpu.kernel import matmul_kernel_resources
+from repro.simgpu.occupancy import compute_occupancy
+
+__all__ = ["RooflinePlacement", "classify_matmul"]
+
+
+@dataclass(frozen=True)
+class RooflinePlacement:
+    """Where one (N, BS, G) configuration sits on the roofline.
+
+    Attributes
+    ----------
+    arithmetic_intensity:
+        Useful flops per DRAM byte moved.
+    ridge_intensity:
+        The device ridge point ``peak_flops / peak_bandwidth``; above it
+        the classical roofline predicts compute-bound execution.
+    bound:
+        What actually binds in the pipeline model: ``"issue"`` (the
+        shared-memory/LSU path), ``"latency"`` (insufficient resident
+        blocks to hide the tile-load phase) or ``"bandwidth"`` (the
+        whole-launch DRAM roofline).
+    issue_cycles / memory_cycles:
+        Per-tile-step per-block cycle costs at the base clock.
+    blocks_per_sm:
+        Resident blocks (the latency-hiding budget).
+    """
+
+    n: int
+    bs: int
+    g: int
+    arithmetic_intensity: float
+    ridge_intensity: float
+    bound: str
+    issue_cycles: float
+    memory_cycles: float
+    blocks_per_sm: int
+
+    @property
+    def classically_compute_bound(self) -> bool:
+        """The textbook roofline verdict (AI above the ridge)."""
+        return self.arithmetic_intensity >= self.ridge_intensity
+
+
+def classify_matmul(
+    spec: GPUSpec,
+    n: int,
+    bs: int,
+    g: int = 1,
+    cal: GPUCalibration | None = None,
+) -> RooflinePlacement:
+    """Classify one matmul configuration on one GPU."""
+    if cal is None:
+        cal = calibration_for(spec)
+    res = matmul_kernel_resources(spec, cal, n, bs, g)
+    occ = compute_occupancy(spec, res.threads_per_block, res.smem_per_block_bytes)
+
+    ai = res.useful_flops / res.total_dram_bytes
+    ridge = spec.peak_dp_flops / spec.mem_bandwidth_bps
+
+    bw_per_sm = spec.mem_bandwidth_bps / (spec.base_clock_hz * spec.sm_count)
+    mem_cycles = cal.mem_latency_cycles + res.tile_fetch_bytes / bw_per_sm
+    issue = res.compute_cycles_per_kstep
+    c = occ.blocks_per_sm
+
+    # Pipeline verdict mirrors the device timing model.
+    per_block = max(issue, (issue + mem_cycles) / c)
+    bw_sat = min(1.0, occ.active_warps_per_sm / cal.warps_to_saturate_bw)
+    import math
+
+    t_pipe = (
+        math.ceil(res.grid_blocks / spec.sm_count)
+        * res.ksteps_per_product
+        * per_block
+        / spec.base_clock_hz
+    )
+    t_dram = (res.total_dram_bytes / res.g) / (spec.mem_bandwidth_bps * bw_sat)
+    if t_dram > t_pipe:
+        bound = "bandwidth"
+    elif per_block > issue:
+        bound = "latency"
+    else:
+        bound = "issue"
+
+    return RooflinePlacement(
+        n=n,
+        bs=bs,
+        g=g,
+        arithmetic_intensity=ai,
+        ridge_intensity=ridge,
+        bound=bound,
+        issue_cycles=issue,
+        memory_cycles=mem_cycles,
+        blocks_per_sm=c,
+    )

@@ -1,0 +1,63 @@
+"""Warp-level execution-efficiency model.
+
+Two warp-granularity effects shape the blocked-matmul landscape:
+
+* **Partial warps.**  A block of ``BS²`` threads occupies
+  ``ceil(BS²/32)`` warps; when ``BS² mod 32 ≠ 0`` the last warp has
+  idle lanes that still consume an issue slot.  The lane efficiency
+  ``BS²/(32·ceil(BS²/32))`` is exactly 1 for BS ∈ {4, 8, 12, ..., 32}
+  and dips by up to ~40% for small odd BS — one source of the jagged
+  energy behaviour in the BS ∈ [21, 32] region.
+
+* **Shared-memory replays.**  The kernel's inner product reads
+  ``As[ty][k]`` and ``Bs[k][tx]``.  When BS < 32 a warp spans
+  ``ceil(32/BS)`` different ``ty`` rows, so the ``As`` broadcast splits
+  into that many transactions (replays); at BS = 32 each warp maps to a
+  single row and the access is a clean broadcast.  The replay factor
+  multiplies the shared-memory issue cost and is the main reason BS=32
+  is the time-optimal tile on both GPUs (paper Section V.C: the K40c's
+  single global-Pareto point has BS = 32).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["lane_efficiency", "warps_per_block", "smem_replay_factor"]
+
+
+def lane_efficiency(threads_per_block: int, warp_size: int = 32) -> float:
+    """Fraction of issued lanes doing useful work, ∈ (0, 1]."""
+    if threads_per_block < 1:
+        raise ValueError("block must have at least one thread")
+    if warp_size < 1:
+        raise ValueError("warp size must be positive")
+    warps = math.ceil(threads_per_block / warp_size)
+    return threads_per_block / (warps * warp_size)
+
+
+def warps_per_block(threads_per_block: int, warp_size: int = 32) -> int:
+    """Number of warps a block occupies."""
+    if threads_per_block < 1:
+        raise ValueError("block must have at least one thread")
+    return math.ceil(threads_per_block / warp_size)
+
+
+def smem_replay_factor(bs: int, warp_size: int = 32) -> float:
+    """Average shared-memory transaction replay factor for tile dim BS.
+
+    A warp covers ``ceil(warp_size / BS)`` distinct ``ty`` rows (for
+    BS < warp_size), each turning the ``As[ty][k]`` broadcast into a
+    separate transaction.  The ``Bs[k][tx]`` read is conflict-free for
+    power-of-two-friendly BS and mildly conflicted otherwise; we charge
+    the row-splitting cost, which dominates.  BS ≥ warp_size is a clean
+    single-row broadcast: factor 1.
+    """
+    if bs < 1:
+        raise ValueError("BS must be at least 1")
+    if bs >= warp_size:
+        return 1.0
+    rows_per_warp = math.ceil(warp_size / bs)
+    # Replays apply to one of the two shared loads per FMA; average the
+    # factor over both loads: (rows_per_warp + 1) / 2.
+    return (rows_per_warp + 1.0) / 2.0

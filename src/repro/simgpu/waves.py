@@ -1,0 +1,82 @@
+"""Wave-execution diagnostics for kernel launches.
+
+A grid executes in *waves*: with ``c`` resident blocks per SM on
+``S`` SMs, up to ``c·S`` blocks run concurrently; a grid of ``B``
+blocks takes ``ceil(B / (c·S))`` waves, and the final wave is
+underfilled whenever ``B mod (c·S) ≠ 0`` — the classic *tail effect*.
+
+These diagnostics quantify the tail for the paper's launches.  For the
+matrix sizes the paper sweeps the grids are thousands of waves deep, so
+the tail is negligible — which is *why* the aggregate pipeline model in
+:mod:`repro.simgpu.device` can ignore it.  The diagnostics make that
+argument checkable instead of implicit, and flag the small-N regime
+where a user's custom workload would need the correction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.occupancy import Occupancy
+
+__all__ = ["WaveAnalysis", "analyze_waves"]
+
+
+@dataclass(frozen=True)
+class WaveAnalysis:
+    """Wave structure of one kernel launch.
+
+    Attributes
+    ----------
+    concurrent_blocks:
+        Blocks the whole GPU runs at once (``c · SM count``).
+    full_waves / total_waves:
+        Completely filled waves and the total including a partial tail.
+    tail_blocks:
+        Blocks in the final, underfilled wave (0 when it is full).
+    tail_fraction_of_time:
+        Share of the launch's wave count the tail represents —
+        the upper bound on the time the aggregate model mis-attributes.
+    utilization:
+        Average fraction of concurrent-block slots occupied over the
+        launch.
+    """
+
+    grid_blocks: int
+    concurrent_blocks: int
+    full_waves: int
+    total_waves: int
+    tail_blocks: int
+    tail_fraction_of_time: float
+    utilization: float
+
+    @property
+    def tail_negligible(self) -> bool:
+        """True when the tail distorts the launch by under 1%."""
+        return self.tail_fraction_of_time < 0.01
+
+
+def analyze_waves(
+    spec: GPUSpec, grid_blocks: int, occupancy: Occupancy
+) -> WaveAnalysis:
+    """Wave decomposition of a launch on one GPU."""
+    if grid_blocks < 1:
+        raise ValueError("grid must have at least one block")
+    concurrent = occupancy.blocks_per_sm * spec.sm_count
+    total_waves = math.ceil(grid_blocks / concurrent)
+    tail_blocks = grid_blocks % concurrent
+    full_waves = total_waves - (1 if tail_blocks else 0)
+    # The tail wave takes as long as a full one but does less work.
+    tail_fraction = (1.0 / total_waves) if tail_blocks else 0.0
+    utilization = grid_blocks / (total_waves * concurrent)
+    return WaveAnalysis(
+        grid_blocks=grid_blocks,
+        concurrent_blocks=concurrent,
+        full_waves=full_waves,
+        total_waves=total_waves,
+        tail_blocks=tail_blocks,
+        tail_fraction_of_time=tail_fraction,
+        utilization=utilization,
+    )

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import HASWELL, K40C, P100
+from repro.simcpu import MulticoreCPU
+from repro.simgpu import GPUDevice
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def k40c() -> GPUDevice:
+    return GPUDevice(K40C)
+
+
+@pytest.fixture(scope="session")
+def p100() -> GPUDevice:
+    return GPUDevice(P100)
+
+
+@pytest.fixture(scope="session")
+def haswell_cpu() -> MulticoreCPU:
+    return MulticoreCPU(HASWELL)

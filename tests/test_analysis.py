@@ -1,0 +1,98 @@
+"""Tests for the analysis pipelines and report formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.ep_analysis import strong_ep_study, weak_ep_study
+from repro.analysis.report import (
+    format_pct,
+    format_series,
+    format_table,
+    paper_vs_measured,
+)
+from repro.core.pareto import ParetoPoint
+
+
+class TestStrongEPStudy:
+    def test_linear_data_holds(self):
+        w = np.linspace(1, 100, 20)
+        study = strong_ep_study("dev", w, 3.0 * w)
+        assert study.result.holds
+        assert study.device == "dev"
+
+    def test_nonlinear_data_violates(self):
+        w = np.linspace(1, 100, 20)
+        study = strong_ep_study("dev", w, w**1.7)
+        assert not study.result.holds
+
+
+class TestWeakEPStudy:
+    def _points(self):
+        return [
+            ParetoPoint(10.0, 100.0, {"bs": 32}),
+            ParetoPoint(11.0, 70.0, {"bs": 28}),
+            ParetoPoint(12.0, 90.0, {"bs": 24}),
+            ParetoPoint(13.0, 60.0, {"bs": 20}),
+        ]
+
+    def test_weak_ep_violated_for_spread(self):
+        study = weak_ep_study("dev", 1024, self._points())
+        assert not study.weak_ep.holds
+        assert len(study.front) == 3
+
+    def test_headline_is_max_saving(self):
+        study = weak_ep_study("dev", 1024, self._points())
+        assert study.headline.energy_saving == pytest.approx(0.4)
+
+    def test_local_region(self):
+        study = weak_ep_study(
+            "dev", 1024, self._points(),
+            region=lambda p: p.config["bs"] <= 28,
+        )
+        assert study.local_front is not None
+        assert all(p.config["bs"] <= 28 for p in study.local_front)
+        assert study.local_headline is not None
+
+    def test_no_region_no_local(self):
+        study = weak_ep_study("dev", 1024, self._points())
+        assert study.local_front is None
+        assert study.local_headline is None
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            weak_ep_study("dev", 1024, [])
+
+
+class TestReport:
+    def test_format_pct(self):
+        assert format_pct(0.125) == "12.5%"
+
+    def test_table_alignment(self):
+        table = format_table(["a", "bb"], [("x", "1"), ("yyyy", "22")])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        # Columns aligned: the second column starts at the same offset.
+        assert lines[2].index("1") == lines[3].index("2")
+
+    def test_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [("only-one",)])
+
+    def test_series(self):
+        s = format_series("demo", [1.0, 2.0], [10.0, 20.0])
+        lines = s.splitlines()
+        assert lines[0] == "# series: demo"
+        assert lines[1] == "1\t10"
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("demo", [1.0], [1.0, 2.0])
+
+    def test_paper_vs_measured(self):
+        out = paper_vs_measured([("front size", 2, 3)])
+        assert "paper" in out and "measured" in out
+        assert "front size" in out

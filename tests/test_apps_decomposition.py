@@ -1,0 +1,108 @@
+"""Tests for the Fig. 3 matrix decomposition and weak-EP constraints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.decomposition import (
+    DecompositionError,
+    ThreadAssignment,
+    decompose,
+    verify_weak_ep_constraints,
+)
+
+
+class TestDecompose:
+    def test_single_thread_owns_everything(self):
+        groups = decompose(1024, 1, 1)
+        assert len(groups) == 1
+        t = groups[0].threads[0]
+        assert (t.row_start, t.row_end) == (0, 1024)
+
+    def test_fig3_structure(self):
+        # 4 groups × 3 threads over N=17408-like divisible size.
+        groups = decompose(1200, 4, 3)
+        assert len(groups) == 4
+        for g in groups:
+            assert g.row_end - g.row_start == 300
+            assert len(g.threads) == 3
+            for t in g.threads:
+                assert t.rows == 100
+                assert g.row_start <= t.row_start < t.row_end <= g.row_end
+
+    def test_groups_are_contiguous_slabs(self):
+        groups = decompose(96, 4, 2)
+        starts = [g.row_start for g in groups]
+        assert starts == [0, 24, 48, 72]
+
+    def test_flops_accounting(self):
+        groups = decompose(120, 2, 3)
+        total = sum(t.flops(120) for g in groups for t in g.threads)
+        assert total == pytest.approx(2.0 * 120**3)
+
+    def test_indivisible_configuration_rejected(self):
+        with pytest.raises(DecompositionError, match="not divisible"):
+            decompose(100, 3, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(DecompositionError):
+            decompose(0, 1, 1)
+        with pytest.raises(DecompositionError):
+            decompose(16, 0, 4)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_property_constraints_always_satisfied(self, p, t, scale):
+        n = p * t * scale
+        groups = decompose(n, p, t)
+        verify_weak_ep_constraints(n, groups)  # must not raise
+
+
+class TestVerify:
+    def test_detects_unequal_workload(self):
+        bad = decompose(96, 2, 2)
+        tampered = [
+            bad[0],
+            type(bad[1])(
+                group=1,
+                row_start=48,
+                row_end=96,
+                threads=(
+                    ThreadAssignment(1, 0, 48, 70),
+                    ThreadAssignment(1, 1, 70, 96),
+                ),
+            ),
+        ]
+        with pytest.raises(DecompositionError, match="unequal"):
+            verify_weak_ep_constraints(96, tampered)
+
+    def test_detects_gap(self):
+        groups = decompose(96, 2, 2)
+        truncated = groups[:1]
+        with pytest.raises(DecompositionError):
+            verify_weak_ep_constraints(96, truncated)
+
+    def test_detects_overlap(self):
+        g = decompose(96, 1, 2)[0]
+        overlapping = [
+            type(g)(
+                group=0,
+                row_start=0,
+                row_end=96,
+                threads=(
+                    ThreadAssignment(0, 0, 0, 48),
+                    ThreadAssignment(0, 1, 24, 72),
+                ),
+            )
+        ]
+        with pytest.raises(DecompositionError):
+            verify_weak_ep_constraints(96, overlapping)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DecompositionError, match="no threads"):
+            verify_weak_ep_constraints(10, [])

@@ -1,0 +1,91 @@
+"""Tests for the ASCII scatter renderer and the Fig. 3/Fig. 5 experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.asciiplot import Series, scatter_plot
+from repro.experiments import fig3_decomposition, fig5_source
+
+
+class TestScatterPlot:
+    def test_basic_rendering(self):
+        out = scatter_plot(
+            [Series("cloud", [1.0, 2.0, 3.0], [1.0, 4.0, 9.0], ".")],
+            x_label="time",
+            y_label="energy",
+            title="demo",
+        )
+        assert "demo" in out
+        assert "(energy)" in out and "(time)" in out
+        assert "legend: . = cloud" in out
+
+    def test_extreme_points_on_canvas_edges(self):
+        out = scatter_plot(
+            [Series("s", [0.0, 10.0], [0.0, 10.0], "*")],
+            width=20,
+            height=8,
+        )
+        rows = [l[1:] for l in out.splitlines() if l.startswith("|")]
+        assert rows[0].rstrip().endswith("*")  # max point top-right
+        assert rows[-1].startswith("*")  # min point bottom-left
+
+    def test_later_series_overwrites(self):
+        cloud = Series("cloud", [1.0], [1.0], ".")
+        front = Series("front", [1.0], [1.0], "#")
+        out = scatter_plot([cloud, front], width=16, height=6)
+        grid = "\n".join(l for l in out.splitlines() if l.startswith("|"))
+        assert "#" in grid and "." not in grid
+
+    def test_degenerate_single_point(self):
+        out = scatter_plot([Series("p", [5.0], [7.0], "o")])
+        assert "o" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            Series("bad", [1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="single character"):
+            Series("bad", [1.0], [1.0], glyph="ab")
+        with pytest.raises(ValueError, match="too small"):
+            scatter_plot([Series("s", [1.0], [1.0])], width=4, height=2)
+        with pytest.raises(ValueError, match="nothing"):
+            scatter_plot([Series("s", [], [])])
+
+
+class TestFig3Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_decomposition.run()
+
+    def test_no_constraint_violations(self, result):
+        assert result.violations == 0
+        assert result.configurations_checked >= 20
+
+    def test_diagram_shows_groups_and_shared_b(self, result):
+        assert "P0.t0" in result.diagram
+        assert "shared, read-only" in result.diagram
+
+    def test_render(self, result):
+        assert "0 violations" in result.render()
+
+
+class TestFig5Experiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5_source.run()
+
+    def test_paper_structure(self, result):
+        assert result.group_routines == 8
+        assert result.dispatch_kernels == 32
+
+    def test_sync_site_count(self, result):
+        # Each dgemmG<g> has 2g in-product + (g-1) separators:
+        # sum over g=1..8 of (3g - 1) = 3*36 - 8 = 100.
+        assert result.sync_calls == 100
+
+    def test_source_is_substantial(self, result):
+        assert result.lines > 500
+
+    def test_render(self, result):
+        out = result.render()
+        assert "source head" in out

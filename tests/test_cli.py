@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.device == "p100"
+        assert args.n == 10240
+        assert args.products == 24
+
+
+class TestCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "haswell" in out and "p100" in out and "k40c" in out
+
+    def test_experiment_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Nvidia K40c" in out
+
+    def test_experiment_theory_alias_absent(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "theory"])
+
+    def test_sweep_prints_front(self, capsys):
+        assert main(["sweep", "--device", "k40c", "--n", "2048"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto front:" in out
+        assert "Trade-offs" in out
+
+    def test_sweep_all_points(self, capsys):
+        main(["sweep", "--device", "k40c", "--n", "2048", "--all-points"])
+        out = capsys.readouterr().out
+        # All-points table lists every configuration (146 for T=24).
+        assert out.count("'bs'") > 140
+
+    def test_tradeoff_budget(self, capsys):
+        assert main(
+            ["tradeoff", "--device", "p100", "--n", "4096", "--budget", "5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "slowdown" in out and "energy saving" in out
+
+    def test_tradeoff_negative_budget(self):
+        with pytest.raises(SystemExit):
+            main(["tradeoff", "--budget", "-3"])
+
+    def test_experiment_fig7(self, capsys):
+        assert main(["experiment", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "weak EP" in out

@@ -1,0 +1,134 @@
+"""Tests for the formal strong/weak EP checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.definitions import (
+    PAPER_PRECISION,
+    check_strong_ep,
+    check_weak_ep,
+)
+
+
+class TestStrongEP:
+    def test_exact_proportional_holds(self):
+        w = np.array([1.0, 2.0, 5.0, 10.0])
+        res = check_strong_ep(w, 3.0 * w)
+        assert res.holds
+        assert res.coefficient == pytest.approx(3.0)
+        assert res.max_relative_deviation == pytest.approx(0.0, abs=1e-12)
+        assert res.r_squared == pytest.approx(1.0)
+
+    def test_noisy_proportional_holds_within_tolerance(self):
+        rng = np.random.default_rng(7)
+        w = np.linspace(1, 100, 40)
+        e = 2.0 * w * (1 + rng.normal(0, 0.01, w.size))
+        assert check_strong_ep(w, e).holds
+
+    def test_affine_with_large_offset_violates(self):
+        w = np.linspace(1, 100, 40)
+        e = 2.0 * w + 50.0  # intercept breaks proportionality
+        assert not check_strong_ep(w, e).holds
+
+    def test_quadratic_violates(self):
+        w = np.linspace(1, 100, 40)
+        assert not check_strong_ep(w, 0.1 * w**2).holds
+
+    def test_step_function_violates(self):
+        w = np.linspace(1, 100, 40)
+        e = 2.0 * w * np.where(w > 50, 2.0, 1.0)
+        assert not check_strong_ep(w, e).holds
+
+    @pytest.mark.parametrize(
+        "w,e,msg",
+        [
+            ([1.0, 2.0], [1.0, 2.0], "at least 3"),
+            ([1.0, -2.0, 3.0], [1.0, 2.0, 3.0], "positive"),
+            ([1.0, 2.0, 3.0], [1.0, -2.0, 3.0], "positive"),
+        ],
+    )
+    def test_input_validation(self, w, e, msg):
+        with pytest.raises(ValueError, match=msg):
+            check_strong_ep(w, e)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            check_strong_ep([1.0, 2.0, 3.0], [1.0, 2.0])
+
+    def test_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            check_strong_ep([1, 2, 3], [1, 2, 3], tolerance=0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1e3),
+        st.integers(min_value=3, max_value=30),
+    )
+    def test_proportional_always_holds(self, c, n):
+        w = np.linspace(1.0, 50.0, n)
+        res = check_strong_ep(w, c * w)
+        assert res.holds
+        assert res.coefficient == pytest.approx(c, rel=1e-9)
+
+    @given(st.floats(min_value=0.5, max_value=3.0))
+    def test_scale_invariance(self, scale):
+        w = np.linspace(1, 100, 20)
+        e = 2.0 * w + 0.5 * w**1.5
+        a = check_strong_ep(w, e)
+        b = check_strong_ep(w, scale * e)
+        assert a.holds == b.holds
+        assert a.max_relative_deviation == pytest.approx(
+            b.max_relative_deviation, rel=1e-9
+        )
+
+
+class TestWeakEP:
+    def test_constant_energies_hold(self):
+        assert check_weak_ep([5.0, 5.0, 5.0, 5.0]).holds
+
+    def test_small_noise_holds(self):
+        assert check_weak_ep([100.0, 101.0, 99.5, 100.4]).holds
+
+    def test_large_spread_violates(self):
+        res = check_weak_ep([100.0, 150.0, 100.0])
+        assert not res.holds
+        assert res.max_relative_spread == pytest.approx(0.5)
+
+    def test_cv_computation(self):
+        e = [10.0, 12.0, 8.0, 10.0]
+        res = check_weak_ep(e)
+        assert res.coefficient_of_variation == pytest.approx(
+            np.std(e, ddof=1) / np.mean(e)
+        )
+
+    def test_spread_is_savings_opportunity(self):
+        # A 50% spread corresponds to 1 - min/max = 1/3 saving available.
+        res = check_weak_ep([100.0, 150.0])
+        assert res.max_relative_spread == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "e", [[5.0], [1.0, 0.0, 2.0], [1.0, -1.0]]
+    )
+    def test_input_validation(self, e):
+        with pytest.raises(ValueError):
+            check_weak_ep(e)
+
+    def test_default_tolerance_is_protocol_derived(self):
+        # Default tolerance is three measurement precisions.
+        res = check_weak_ep([1.0, 1.0])
+        assert res.tolerance == pytest.approx(3 * PAPER_PRECISION)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=1e6), min_size=2, max_size=30
+        )
+    )
+    def test_spread_nonnegative_and_consistent(self, e):
+        res = check_weak_ep(e)
+        assert res.max_relative_spread >= 0.0
+        assert res.mean_energy_j == pytest.approx(float(np.mean(e)))
+        if res.max_relative_spread == 0.0:
+            assert res.holds

@@ -1,0 +1,117 @@
+"""Tests for constraint and weighted-sum scalarization methods."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.core.scalarization import (
+    epsilon_constraint_front,
+    min_energy_under_time_constraint,
+    min_time_under_energy_budget,
+    weighted_sum_front,
+    weighted_sum_point,
+)
+
+
+def P(t, e, cfg=None):
+    return ParetoPoint(t, e, cfg)
+
+
+CLOUD = [
+    P(10.0, 100.0, "fast"),
+    P(11.0, 85.0, "mid"),
+    P(12.0, 95.0, "dominated"),
+    P(14.0, 60.0, "slow"),
+    P(9.0, 140.0, "hot"),
+]
+
+#: A front with a concavity: the middle point is Pareto-optimal but not
+#: on the convex hull of the front.
+NONCONVEX = [P(1.0, 10.0), P(2.0, 9.5), P(3.0, 5.0)]
+
+
+class TestBudgetMethods:
+    def test_energy_budget_picks_fastest_feasible(self):
+        assert min_time_under_energy_budget(CLOUD, 90.0).config == "mid"
+
+    def test_tight_budget(self):
+        assert min_time_under_energy_budget(CLOUD, 60.0).config == "slow"
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            min_time_under_energy_budget(CLOUD, 10.0)
+
+    def test_time_constraint_picks_cheapest_feasible(self):
+        assert min_energy_under_time_constraint(CLOUD, 11.5).config == "mid"
+
+    def test_infeasible_deadline_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            min_energy_under_time_constraint(CLOUD, 5.0)
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ValueError):
+            min_time_under_energy_budget([], 100.0)
+
+    @given(st.floats(min_value=60.0, max_value=200.0))
+    def test_budget_solution_always_feasible(self, budget):
+        p = min_time_under_energy_budget(CLOUD, budget)
+        assert p.energy_j <= budget
+
+
+class TestEpsilonConstraint:
+    def test_recovers_exact_front(self):
+        assert [p.objectives() for p in epsilon_constraint_front(CLOUD)] == [
+            p.objectives() for p in pareto_front(CLOUD)
+        ]
+
+    def test_recovers_nonconvex_point(self):
+        front = epsilon_constraint_front(NONCONVEX)
+        assert len(front) == 3  # includes the concavity point
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.1, max_value=100.0),
+                st.floats(min_value=0.1, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_always_matches_pareto_front(self, raw):
+        pts = [P(t, e) for t, e in raw]
+        assert [p.objectives() for p in epsilon_constraint_front(pts)] == [
+            p.objectives() for p in pareto_front(pts)
+        ]
+
+
+class TestWeightedSum:
+    def test_lambda_one_is_time_optimal(self):
+        assert weighted_sum_point(CLOUD, 1.0).config == "hot"  # fastest
+
+    def test_lambda_zero_is_energy_optimal(self):
+        assert weighted_sum_point(CLOUD, 0.0).config == "slow"
+
+    def test_lambda_out_of_range(self):
+        with pytest.raises(ValueError):
+            weighted_sum_point(CLOUD, 1.5)
+
+    def test_front_subset_of_exact(self):
+        ws = weighted_sum_front(CLOUD)
+        exact = {p.objectives() for p in pareto_front(CLOUD)}
+        assert all(p.objectives() in exact for p in ws)
+
+    def test_misses_nonconvex_point(self):
+        """The textbook weighted-sum limitation, demonstrated."""
+        ws = weighted_sum_front(NONCONVEX)
+        objs = {p.objectives() for p in ws}
+        assert (1.0, 10.0) in objs
+        assert (3.0, 5.0) in objs
+        assert (2.0, 9.5) not in objs  # inside the concavity
+
+    def test_weight_count_validated(self):
+        with pytest.raises(ValueError):
+            weighted_sum_front(CLOUD, n_weights=1)

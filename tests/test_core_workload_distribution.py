@@ -1,0 +1,167 @@
+"""Tests for the bi-objective workload-distribution solver ([25], [26])."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.core.workload_distribution import (
+    Distribution,
+    ProcessorProfile,
+    pareto_workload_distributions,
+)
+
+
+def linear_profile(name, t_per_unit, e_per_unit, capacity):
+    return ProcessorProfile(
+        name=name,
+        times=tuple(t_per_unit * x for x in range(capacity + 1)),
+        energies=tuple(e_per_unit * x for x in range(capacity + 1)),
+    )
+
+
+def brute_force(profiles, total, allow_idle=True):
+    """Reference: enumerate every assignment, take the Pareto front."""
+    lo = 0 if allow_idle else 1
+    points = []
+    ranges = [range(lo, p.capacity + 1) for p in profiles]
+    for combo in itertools.product(*ranges):
+        if sum(combo) != total:
+            continue
+        t = max(p.times[x] for p, x in zip(profiles, combo))
+        e = sum(p.energies[x] for p, x in zip(profiles, combo))
+        points.append(ParetoPoint(t, e, combo))
+    return pareto_front(points)
+
+
+class TestProcessorProfile:
+    def test_capacity(self):
+        assert linear_profile("a", 1.0, 2.0, 5).capacity == 5
+
+    @pytest.mark.parametrize(
+        "times,energies",
+        [
+            ((0.0, 1.0), (0.0,)),           # misaligned
+            ((), ()),                        # empty
+            ((1.0, 2.0), (0.0, 1.0)),        # x=0 must be free
+            ((0.0, -1.0), (0.0, 1.0)),       # negative cost
+        ],
+    )
+    def test_validation(self, times, energies):
+        with pytest.raises(ValueError):
+            ProcessorProfile("bad", times, energies)
+
+
+class TestSolver:
+    def test_single_processor_trivial(self):
+        prof = linear_profile("a", 1.0, 2.0, 10)
+        front = pareto_workload_distributions([prof], 7)
+        assert len(front) == 1
+        assert front[0].assignment == (7,)
+        assert front[0].time_s == pytest.approx(7.0)
+        assert front[0].energy_j == pytest.approx(14.0)
+
+    def test_homogeneous_linear_balances(self):
+        profs = [linear_profile(f"p{i}", 1.0, 1.0, 20) for i in range(4)]
+        front = pareto_workload_distributions(profs, 20)
+        # Energy is constant (Σx fixed), so the front is the makespan
+        # minimizer: the balanced split.
+        assert len(front) == 1
+        assert sorted(front[0].assignment) == [5, 5, 5, 5]
+
+    def test_fast_hot_vs_slow_cool_tradeoff(self):
+        fast_hot = linear_profile("fast", 1.0, 5.0, 12)
+        slow_cool = linear_profile("slow", 3.0, 1.0, 12)
+        front = pareto_workload_distributions([fast_hot, slow_cool], 12)
+        assert len(front) >= 3  # genuine trade-off curve
+        # Fastest point leans on the fast processor; cheapest on the cool.
+        assert front[0].assignment[0] > front[0].assignment[1]
+        assert front[-1].assignment[1] > front[-1].assignment[0]
+
+    def test_nonproportional_energy_exploited(self):
+        # Processor with an energy cliff at x=3 (nonproportionality!).
+        times = (0.0, 1.0, 2.0, 3.0, 4.0)
+        energies = (0.0, 1.0, 2.0, 10.0, 11.0)
+        cliffy = ProcessorProfile("cliffy", times, energies)
+        steady = linear_profile("steady", 1.2, 2.0, 4)
+        front = pareto_workload_distributions([cliffy, steady], 4)
+        # Some front point avoids the cliff by capping cliffy at 2 units.
+        assert any(d.assignment[0] <= 2 for d in front)
+
+    def test_matches_bruteforce_small(self):
+        profs = [
+            linear_profile("a", 1.0, 3.0, 6),
+            linear_profile("b", 2.0, 1.0, 6),
+            ProcessorProfile(
+                "c",
+                (0.0, 2.0, 2.5, 5.0, 5.5, 9.0, 9.5),
+                (0.0, 1.0, 4.0, 4.5, 8.0, 8.5, 12.0),
+            ),
+        ]
+        got = pareto_workload_distributions(profs, 9)
+        expected = brute_force(profs, 9)
+        assert [(d.time_s, d.energy_j) for d in got] == [
+            (p.time_s, p.energy_j) for p in expected
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.2, max_value=5.0),
+                st.floats(min_value=0.2, max_value=5.0),
+            ),
+            min_size=2,
+            max_size=3,
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_matches_bruteforce(self, specs, total):
+        profs = [
+            linear_profile(f"p{i}", t, e, 8) for i, (t, e) in enumerate(specs)
+        ]
+        got = pareto_workload_distributions(profs, total)
+        expected = brute_force(profs, total)
+        assert [(d.time_s, d.energy_j) for d in got] == pytest.approx(
+            [(p.time_s, p.energy_j) for p in expected]
+        )
+
+    def test_assignments_sum_to_total(self):
+        profs = [linear_profile(f"p{i}", 1.0 + i, 2.0 - 0.5 * i, 10)
+                 for i in range(3)]
+        for d in pareto_workload_distributions(profs, 14):
+            assert sum(d.assignment) == 14
+
+    def test_allow_idle_false(self):
+        fast = linear_profile("fast", 1.0, 1.0, 10)
+        slow = linear_profile("slow", 10.0, 10.0, 10)
+        with_idle = pareto_workload_distributions([fast, slow], 5)
+        forced = pareto_workload_distributions(
+            [fast, slow], 5, allow_idle=False
+        )
+        assert any(0 in d.assignment for d in with_idle)
+        assert all(0 not in d.assignment for d in forced)
+
+    def test_capacity_validation(self):
+        prof = linear_profile("a", 1.0, 1.0, 3)
+        with pytest.raises(ValueError, match="capacity"):
+            pareto_workload_distributions([prof], 5)
+
+    def test_no_processors(self):
+        with pytest.raises(ValueError):
+            pareto_workload_distributions([], 5)
+
+    def test_idle_disallowed_needs_enough_work(self):
+        profs = [linear_profile(f"p{i}", 1.0, 1.0, 5) for i in range(4)]
+        with pytest.raises(ValueError):
+            pareto_workload_distributions(profs, 2, allow_idle=False)
+
+    def test_zero_work(self):
+        profs = [linear_profile("a", 1.0, 1.0, 3)]
+        front = pareto_workload_distributions(profs, 0)
+        assert front[0].assignment == (0,)
+        assert front[0].time_s == 0.0

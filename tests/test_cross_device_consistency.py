@@ -1,0 +1,84 @@
+"""Cross-device consistency invariants between the two simulated GPUs.
+
+The paper's core comparative claims hinge on the two GPU generations
+behaving differently in specific, qualitative ways.  These tests pin
+the cross-device relations directly (the per-device shape tests live in
+``test_experiments_shape.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core import check_weak_ep, pareto_front
+from repro.machines import K40C, P100
+from repro.simgpu.device import GPUDevice
+from repro.simgpu.power import aux_decay
+
+
+class TestPerformanceOrdering:
+    @pytest.mark.parametrize("bs", [8, 16, 24, 32])
+    def test_p100_faster_at_every_tile(self, k40c, p100, bs):
+        n = 8192
+        assert (
+            p100.run_matmul(n, bs).time_s < k40c.run_matmul(n, bs).time_s
+        )
+
+    def test_generation_speedup_plausible(self, k40c, p100):
+        # P100/K40c peak-DP ratio is ~3.3x; the modelled kernel speedup
+        # must land in the same ballpark (1.5x-6x), not at 100x.
+        n = 10240
+        ratio = (
+            k40c.run_matmul(n, 32).time_s / p100.run_matmul(n, 32).time_s
+        )
+        assert 1.5 < ratio < 6.0
+
+
+class TestStructuralContrast:
+    def test_front_structure_contrast(self):
+        """The paper's central comparative finding at common workloads."""
+        n = 10240
+        k_front = pareto_front(MatmulGPUApp(K40C).sweep_points(n))
+        p_front = pareto_front(MatmulGPUApp(P100).sweep_points(n))
+        assert len(k_front) == 1
+        assert len(p_front) >= 2
+
+    def test_both_violate_weak_ep(self):
+        n = 8192
+        for spec in (K40C, P100):
+            energies = [
+                p.energy_j for p in MatmulGPUApp(spec).sweep_points(n)
+            ]
+            assert not check_weak_ep(energies).holds
+
+    def test_additivity_threshold_ordering(self):
+        """The P100's auxiliary component persists to larger N."""
+        assert P100.additivity_threshold_n > K40C.additivity_threshold_n
+        # A size between the thresholds separates the devices.
+        n = 12288
+        assert aux_decay(K40C, n) == 0.0
+        assert aux_decay(P100, n) > 0.0
+
+    def test_only_p100_boosts(self, k40c, p100):
+        n = 6144
+        k = k40c.run_matmul(n, 32)
+        p = p100.run_matmul(n, 32)
+        assert k.clock_hz == K40C.base_clock_hz
+        assert p.clock_hz > P100.base_clock_hz
+
+
+class TestEnergyScales:
+    def test_k40c_less_efficient_per_flop(self, k40c, p100):
+        """28 nm Kepler burns more energy per flop than 16 nm Pascal."""
+        n = 8192
+        k = k40c.run_matmul(n, 32)
+        p = p100.run_matmul(n, 32)
+        k_j_per_flop = k.dynamic_energy_j / (2.0 * n**3)
+        p_j_per_flop = p.dynamic_energy_j / (2.0 * n**3)
+        assert k_j_per_flop > 1.5 * p_j_per_flop
+
+    def test_dynamic_power_within_tdp_scale(self, k40c, p100):
+        for dev, spec in ((k40c, K40C), (p100, P100)):
+            r = dev.run_matmul(10240, 32, r=24)
+            assert 0.3 * spec.tdp_w < r.dynamic_power_w < 1.3 * spec.tdp_w

@@ -1,0 +1,99 @@
+"""Tests for the Fig. 5 CUDA source generator."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.apps.cuda_source import (
+    dispatch_kernel,
+    full_source,
+    group_routine,
+    product_code,
+)
+
+
+class TestProductCode:
+    def test_contains_shared_tiles(self):
+        code = product_code()
+        assert "__shared__ double As[BS][BS], Bs[BS][BS];" in code
+
+    def test_two_barriers_per_tile_step(self):
+        assert product_code().count("__syncthreads();") == 2
+
+    def test_accumulates_into_c(self):
+        assert "+= Csub" in product_code()
+
+    def test_unrolled_inner_product(self):
+        code = product_code()
+        assert "#pragma unroll" in code
+        assert "Csub += As[ty][k] * Bs[k][tx];" in code
+
+
+class TestGroupRoutine:
+    @pytest.mark.parametrize("g", [1, 2, 4, 8])
+    def test_product_repeated_g_times(self, g):
+        code = group_routine(g)
+        assert code.count("+= Csub") == g
+
+    @pytest.mark.parametrize("g", [2, 3, 8])
+    def test_inter_group_barriers(self, g):
+        # 2 per tile-step inside each product, plus g-1 separators.
+        code = group_routine(g)
+        assert code.count("__syncthreads();") == 2 * g + (g - 1)
+
+    def test_signature_matches_paper(self):
+        code = group_routine(3)
+        assert code.startswith("template <int BS> __device__ void dgemmG3(")
+
+    @pytest.mark.parametrize("g", [0, 9])
+    def test_range_enforced(self, g):
+        with pytest.raises(ValueError):
+            group_routine(g)
+
+
+class TestDispatchKernel:
+    def test_dispatches_all_groups(self):
+        code = dispatch_kernel(16)
+        for g in range(1, 9):
+            assert f"dgemmG{g}<16>(C, A, B, N);" in code
+
+    def test_runtime_r_loop(self):
+        assert "for (int run = 0; run < R; run++)" in dispatch_kernel(8)
+
+    def test_global_signature(self):
+        assert dispatch_kernel(32).startswith("__global__ void dgemm32(")
+
+    @pytest.mark.parametrize("bs", [0, 33])
+    def test_bs_range(self, bs):
+        with pytest.raises(ValueError):
+            dispatch_kernel(bs)
+
+
+class TestFullSource:
+    @pytest.fixture(scope="class")
+    def source(self):
+        return full_source()
+
+    def test_all_32_dispatchers(self, source):
+        for bs in range(1, 33):
+            assert f"__global__ void dgemm{bs}(" in source
+
+    def test_all_8_group_routines(self, source):
+        for g in range(1, 9):
+            assert f"__device__ void dgemmG{g}(" in source
+
+    def test_shared_memory_comments_match_model(self, source):
+        from repro.simgpu.kernel import shared_mem_per_block
+
+        for bs in (8, 24, 32):
+            assert f"// BS={bs}: {shared_mem_per_block(bs, 1)} B" in source
+
+    def test_validity_comment_matches_constraint(self, source):
+        # BS=32: 16384 B/product -> G <= 3 on a 48 KB/block part.
+        match = re.search(r"// BS=32: 16384 B.*max G[^:]*: (\d+)", source)
+        assert match and match.group(1) == "3"
+
+    def test_balanced_braces(self, source):
+        assert source.count("{") == source.count("}")

@@ -1,0 +1,281 @@
+"""Tests for the theory-of-energy-predictive-models package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energymodel.additivity import additivity_error, additivity_report
+from repro.energymodel.events import ApplicationProfile, compose_serial
+from repro.energymodel.linear import fit_energy_model
+from repro.energymodel.selection import energy_correlations, select_events
+
+
+def profile(name, flops, bytes_, energy=None, time=1.0):
+    events = {"flops": float(flops), "bytes": float(bytes_)}
+    if energy is None:
+        # Ground-truth linear law: 10 pJ/flop + 50 pJ/byte.
+        energy = 10e-12 * flops + 50e-12 * bytes_
+    return ApplicationProfile(name, events, energy, time)
+
+
+class TestApplicationProfile:
+    def test_event_lookup(self):
+        p = profile("a", 1e12, 1e10)
+        assert p.event("flops") == 1e12
+
+    def test_missing_event_raises(self):
+        with pytest.raises(KeyError, match="flops2"):
+            profile("a", 1, 1).event("flops2")
+
+    def test_events_immutable(self):
+        p = profile("a", 1, 1)
+        with pytest.raises(TypeError):
+            p.events["flops"] = 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ApplicationProfile("a", {}, energy_j=-1.0, time_s=1.0)
+        with pytest.raises(ValueError):
+            ApplicationProfile("a", {}, energy_j=1.0, time_s=0.0)
+
+
+class TestComposeSerial:
+    def test_ideal_composition_adds(self):
+        a, b = profile("a", 1e12, 1e10), profile("b", 2e12, 3e10)
+        c = compose_serial(a, b)
+        assert c.event("flops") == 3e12
+        assert c.energy_j == pytest.approx(a.energy_j + b.energy_j)
+        assert c.time_s == pytest.approx(2.0)
+        assert c.name == "a;b"
+
+    def test_event_excess_injected(self):
+        a, b = profile("a", 1e12, 1e10), profile("b", 1e12, 1e10)
+        c = compose_serial(a, b, event_excess={"flops": 5e10})
+        assert c.event("flops") == 2e12 + 5e10
+
+    def test_energy_excess_injected(self):
+        a, b = profile("a", 1e12, 1e10), profile("b", 1e12, 1e10)
+        c = compose_serial(a, b, energy_excess_j=3.0)
+        assert c.energy_j == pytest.approx(a.energy_j + b.energy_j + 3.0)
+
+    def test_disjoint_event_sets_merged(self):
+        a = ApplicationProfile("a", {"x": 1.0}, 1.0, 1.0)
+        b = ApplicationProfile("b", {"y": 2.0}, 1.0, 1.0)
+        c = compose_serial(a, b)
+        assert c.event("x") == 1.0 and c.event("y") == 2.0
+
+
+class TestAdditivityError:
+    @pytest.mark.parametrize(
+        "base,compound,expected",
+        [(100.0, 100.0, 0.0), (100.0, 110.0, 0.1), (100.0, 80.0, 0.2),
+         (0.0, 0.0, 0.0)],
+    )
+    def test_values(self, base, compound, expected):
+        assert additivity_error(base, compound) == pytest.approx(expected)
+
+    def test_zero_base_nonzero_compound(self):
+        assert additivity_error(0.0, 5.0) == float("inf")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            additivity_error(-1.0, 1.0)
+
+
+class TestAdditivityReport:
+    def test_clean_composition_all_additive(self):
+        a, b = profile("a", 1e12, 1e10), profile("b", 2e12, 2e10)
+        report = additivity_report(a, b, compose_serial(a, b))
+        assert all(r.additive for r in report.values())
+        assert "__energy__" in report and "__time__" in report
+
+    def test_energy_excess_flagged(self):
+        """Fig. 6's signature: events/time additive, energy not."""
+        a, b = profile("a", 1e12, 1e10), profile("b", 1e12, 1e10)
+        c = compose_serial(a, b, energy_excess_j=0.2 * (a.energy_j + b.energy_j))
+        report = additivity_report(a, b, c)
+        assert not report["__energy__"].additive
+        assert report["__energy__"].error == pytest.approx(0.2)
+        assert report["__time__"].additive
+        assert report["flops"].additive
+
+    def test_event_excess_flagged(self):
+        a, b = profile("a", 1e12, 1e10), profile("b", 1e12, 1e10)
+        c = compose_serial(a, b, event_excess={"bytes": 1e10})
+        report = additivity_report(a, b, c)
+        assert not report["bytes"].additive
+        assert report["flops"].additive
+
+    def test_tolerance_validated(self):
+        a, b = profile("a", 1, 1), profile("b", 1, 1)
+        with pytest.raises(ValueError):
+            additivity_report(a, b, compose_serial(a, b), tolerance=0.0)
+
+
+class TestLinearFit:
+    def _training(self, rng, n=12, noise=0.0):
+        profiles = []
+        for i in range(n):
+            flops = float(rng.uniform(1e11, 5e12))
+            bytes_ = float(rng.uniform(1e9, 5e10))
+            e = 10e-12 * flops + 50e-12 * bytes_
+            e *= 1.0 + noise * rng.standard_normal()
+            profiles.append(
+                ApplicationProfile(
+                    f"p{i}", {"flops": flops, "bytes": bytes_}, e, 1.0
+                )
+            )
+        return profiles
+
+    def test_recovers_ground_truth(self):
+        rng = np.random.default_rng(0)
+        model = fit_energy_model(self._training(rng), ["flops", "bytes"])
+        assert model.coefficient("flops") == pytest.approx(10e-12, rel=1e-6)
+        assert model.coefficient("bytes") == pytest.approx(50e-12, rel=1e-6)
+        assert model.training_error < 1e-9
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(1)
+        model = fit_energy_model(
+            self._training(rng, n=60, noise=0.03), ["flops", "bytes"]
+        )
+        assert model.coefficient("flops") == pytest.approx(10e-12, rel=0.1)
+        assert model.training_error < 0.1
+
+    def test_coefficients_never_negative(self):
+        rng = np.random.default_rng(2)
+        profiles = []
+        for i in range(20):
+            flops = float(rng.uniform(1e11, 1e12))
+            anti = 1e12 / flops  # anti-correlated nuisance event
+            profiles.append(
+                ApplicationProfile(
+                    f"p{i}", {"flops": flops, "anti": anti},
+                    10e-12 * flops, 1.0,
+                )
+            )
+        model = fit_energy_model(profiles, ["flops", "anti"])
+        assert all(c >= 0 for c in model.coefficients)
+
+    def test_prediction_and_relative_error(self):
+        rng = np.random.default_rng(3)
+        training = self._training(rng)
+        model = fit_energy_model(training, ["flops", "bytes"])
+        fresh = profile("fresh", 7e11, 2e10)
+        assert model.predict(fresh) == pytest.approx(fresh.energy_j, rel=1e-6)
+        assert model.relative_error(fresh) < 1e-6
+
+    def test_underdetermined_rejected(self):
+        rng = np.random.default_rng(4)
+        with pytest.raises(ValueError):
+            fit_energy_model(self._training(rng, n=1), ["flops", "bytes"])
+
+    def test_unknown_coefficient_lookup(self):
+        rng = np.random.default_rng(5)
+        model = fit_energy_model(self._training(rng), ["flops", "bytes"])
+        with pytest.raises(KeyError):
+            model.coefficient("nope")
+
+    @given(
+        st.floats(min_value=1e-12, max_value=1e-9),
+        st.floats(min_value=1e-12, max_value=1e-9),
+    )
+    @settings(max_examples=25)
+    def test_property_exact_recovery(self, beta1, beta2):
+        rng = np.random.default_rng(6)
+        profiles = []
+        for i in range(10):
+            x1 = float(rng.uniform(1e9, 1e12))
+            x2 = float(rng.uniform(1e9, 1e12))
+            profiles.append(
+                ApplicationProfile(
+                    f"p{i}", {"a": x1, "b": x2}, beta1 * x1 + beta2 * x2, 1.0
+                )
+            )
+        model = fit_energy_model(profiles, ["a", "b"])
+        assert model.coefficient("a") == pytest.approx(beta1, rel=1e-4)
+        assert model.coefficient("b") == pytest.approx(beta2, rel=1e-4)
+
+
+class TestSelection:
+    def _profiles(self, rng, n=10):
+        out = []
+        for i in range(n):
+            flops = float(rng.uniform(1e11, 5e12))
+            noise_ev = float(rng.uniform(0, 1e6))  # uncorrelated
+            e = 10e-12 * flops
+            out.append(
+                ApplicationProfile(
+                    f"p{i}",
+                    {"flops": flops, "noise": noise_ev},
+                    e,
+                    1.0,
+                )
+            )
+        return out
+
+    def test_correlations(self):
+        rng = np.random.default_rng(7)
+        corr = energy_correlations(self._profiles(rng), ["flops", "noise"])
+        assert corr["flops"] == pytest.approx(1.0, abs=1e-9)
+        assert abs(corr["noise"]) < 0.8
+
+    def test_zero_variance_event_zero_correlation(self):
+        profiles = [
+            ApplicationProfile(f"p{i}", {"const": 5.0}, float(i + 1), 1.0)
+            for i in range(5)
+        ]
+        corr = energy_correlations(profiles, ["const"])
+        assert corr["const"] == 0.0
+
+    def test_gates(self):
+        rng = np.random.default_rng(8)
+        training = self._profiles(rng)
+        a = training[0]
+        b = training[1]
+        # "flops" composes cleanly; "noise" is made non-additive.
+        compound = compose_serial(a, b, event_excess={"noise": 1e9})
+        scores = select_events(
+            training,
+            [(a, b, compound)],
+            ["flops", "noise"],
+            min_correlation=0.9,
+        )
+        verdict = {s.name: s for s in scores}
+        assert verdict["flops"].selected
+        assert not verdict["noise"].selected
+
+    def test_overflowed_event_rejected_outright(self):
+        rng = np.random.default_rng(9)
+        training = self._profiles(rng)
+        a, b = training[0], training[1]
+        scores = select_events(
+            training,
+            [(a, b, compose_serial(a, b))],
+            ["flops"],
+            unreliable={"flops"},
+        )
+        assert not scores[0].selected
+        assert scores[0].reason == "counter overflow"
+
+    def test_selected_sorted_first(self):
+        rng = np.random.default_rng(10)
+        training = self._profiles(rng)
+        a, b = training[0], training[1]
+        scores = select_events(
+            training, [(a, b, compose_serial(a, b))], ["noise", "flops"]
+        )
+        assert scores[0].name == "flops"
+
+    def test_needs_compounds(self):
+        rng = np.random.default_rng(11)
+        with pytest.raises(ValueError):
+            select_events(self._profiles(rng), [], ["flops"])
+
+    def test_needs_three_training_profiles(self):
+        rng = np.random.default_rng(12)
+        with pytest.raises(ValueError):
+            energy_correlations(self._profiles(rng, n=2), ["flops"])

@@ -1,0 +1,82 @@
+"""Tests for CPU DVFS support and the strategy-comparison study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dvfs_comparison
+from repro.machines import HASWELL
+from repro.simcpu.processor import DGEMMConfig, MulticoreCPU
+
+
+class TestFreqScale:
+    @pytest.fixture(scope="class")
+    def cpu(self):
+        return MulticoreCPU(HASWELL)
+
+    CFG = DGEMMConfig("row", 1, 24)
+
+    def test_lower_frequency_slower(self, cpu):
+        base = cpu.run_dgemm(8192, self.CFG, freq_scale=1.0)
+        slow = cpu.run_dgemm(8192, self.CFG, freq_scale=0.6)
+        assert slow.time_s == pytest.approx(base.time_s / 0.6, rel=0.01)
+
+    def test_lower_frequency_less_energy(self, cpu):
+        """Race-to-idle does NOT win for dynamic energy on this model:
+        V²f scaling means slower clocks save dynamic energy — the
+        classic DVFS trade-off the system-level methods exploit."""
+        base = cpu.run_dgemm(8192, self.CFG, freq_scale=1.0)
+        slow = cpu.run_dgemm(8192, self.CFG, freq_scale=0.7)
+        assert slow.dynamic_energy_j < base.dynamic_energy_j
+        assert slow.time_s > base.time_s
+
+    def test_memory_side_power_unscaled(self, cpu):
+        base = cpu.run_dgemm(8192, self.CFG, freq_scale=1.0)
+        slow = cpu.run_dgemm(8192, self.CFG, freq_scale=0.6)
+        # DRAM/dTLB power scales with the achieved traffic rate (which
+        # drops with f), but not with the voltage ladder.
+        assert slow.power.dram_w == pytest.approx(base.power.dram_w * 0.6, rel=0.05)
+
+    def test_core_power_scales_superlinearly(self, cpu):
+        base = cpu.run_dgemm(8192, self.CFG, freq_scale=1.0)
+        slow = cpu.run_dgemm(8192, self.CFG, freq_scale=0.6)
+        assert slow.power.cores_w == pytest.approx(
+            base.power.cores_w * 0.6**2.5, rel=0.01
+        )
+
+    @pytest.mark.parametrize("f", [0.3, 1.2])
+    def test_range_enforced(self, cpu, f):
+        with pytest.raises(ValueError):
+            cpu.run_dgemm(4096, self.CFG, freq_scale=f)
+
+
+class TestDVFSComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return dvfs_comparison.run(n=8192)
+
+    def test_three_strategies(self, result):
+        assert {r.strategy for r in result.rows} == {
+            "dvfs-only", "application-only", "combined",
+        }
+
+    def test_combined_is_reference(self, result):
+        assert result.by_strategy("combined").epsilon_vs_combined == 0.0
+
+    def test_dvfs_gives_tradeoff_curve(self, result):
+        assert result.by_strategy("dvfs-only").front_size >= 3
+        assert result.by_strategy("dvfs-only").max_saving > 0.15
+
+    def test_combined_at_least_as_good_as_parts(self, result):
+        combined = result.by_strategy("combined")
+        for name in ("dvfs-only", "application-only"):
+            assert combined.max_saving >= result.by_strategy(name).max_saving - 1e-9
+
+    def test_app_choice_waste_material(self, result):
+        """Fig. 4's practical content: a bad configuration wastes
+        double-digit energy at essentially equal performance."""
+        assert result.app_choice_waste > 0.08
+
+    def test_render(self, result):
+        out = result.render()
+        assert "app-level choice still matters" in out

@@ -1,0 +1,34 @@
+"""Tests for the calibration sensitivity study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import sensitivity
+
+
+class TestSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Smaller N keeps the sweep quick while exercising the machinery.
+        return sensitivity.run(n=8192)
+
+    def test_all_constants_covered(self, result):
+        assert {r.constant for r in result.rows} == set(
+            sensitivity.PERTURBED_CONSTANTS
+        )
+
+    def test_verdicts_mostly_robust(self, result):
+        """The structural claims must survive most ±20% perturbations —
+        otherwise the calibration would be a fine-tuned lookup table."""
+        assert result.fraction_held >= 0.6
+
+    def test_counts_bounded(self, result):
+        for r in result.rows:
+            assert 0 <= r.k40c_verdict_held <= r.trials
+            assert 0 <= r.p100_verdict_held <= r.trials
+
+    def test_render(self, result):
+        out = result.render()
+        assert "perturbed constant" in out
+        assert "e_lane_j" in out

@@ -1,0 +1,254 @@
+"""Acceptance tests: the paper's figure/table shapes (DESIGN.md §4).
+
+These are the integration-level checks that the calibrated simulators
+regenerate the *shape* of every paper artifact: who wins, by roughly
+what factor, where the structure (front sizes, thresholds, regions)
+falls.  Exact magnitudes are compared in EXPERIMENTS.md; the bands here
+are the reproduction's contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig1_strong_ep,
+    fig2_p100_n18432,
+    fig4_cpu_utilization,
+    fig6_additivity,
+    fig7_k40c_pareto,
+    fig8_p100_pareto,
+    headline,
+    table1_specs,
+)
+from repro.machines import K40C, P100
+
+
+class TestTable1:
+    def test_renders_all_three_platforms(self):
+        out = table1_specs.run().render()
+        assert "Intel Haswell" in out
+        assert "Nvidia K40c" in out
+        assert "Nvidia P100" in out
+        assert "235 W" in out and "250 W" in out
+        assert "2880" in out and "3584" in out
+
+
+class TestFig1StrongEP:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_strong_ep.run()
+
+    def test_all_three_devices_studied(self, result):
+        assert {s.device for s in result.studies} == {
+            "haswell", "k40c", "p100",
+        }
+
+    def test_strong_ep_violated_everywhere(self, result):
+        for study in result.studies:
+            assert not study.result.holds, study.device
+
+    def test_violation_far_beyond_noise(self, result):
+        # Fig. 1's curves are wildly non-linear, not borderline.
+        for study in result.studies:
+            assert study.result.max_relative_deviation > 0.3, study.device
+
+    def test_energy_still_grows_with_work(self, result):
+        # Nonproportional is not anti-proportional: big W costs more.
+        for study in result.studies:
+            assert study.energy_j[-1] > study.energy_j[0]
+
+    def test_render_mentions_violation(self, result):
+        assert "violated" in result.render()
+
+
+class TestFig2P100N18432:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_p100_n18432.run()
+
+    def test_low_bs_region_energy_tracks_time(self, result):
+        assert result.low_bs_rank_correlation > 0.7
+
+    def test_global_front_nondegenerate(self, result):
+        # Paper: 2 points.
+        assert 2 <= len(result.global_front) <= 3
+
+    def test_savings_band(self, result):
+        # Paper: 12.5% at 2.5% degradation.
+        assert 0.05 <= result.global_headline.energy_saving <= 0.30
+        assert result.global_headline.perf_degradation <= 0.10
+
+    def test_front_points_in_nonprop_region(self, result):
+        # The paper observes the front falls in the BS>=16 upper region.
+        assert all(p.config["bs"] >= 16 for p in result.global_front)
+
+
+class TestFig4CPUUtilization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig4_cpu_utilization.run()
+
+    def test_both_libraries(self, result):
+        assert {s.library for s in result.series} == {"mkl", "openblas"}
+
+    def test_plateau_near_700(self, result):
+        for s in result.series:
+            assert 600 <= s.plateau_gflops <= 820, s.library
+
+    def test_ramp_is_linear(self, result):
+        for s in result.series:
+            assert s.ramp_r_squared > 0.99, s.library
+
+    def test_power_nonfunctional_in_utilization(self, result):
+        """The paper's central Fig. 4 observation: same average
+        utilization, materially different dynamic power."""
+        for s in result.series:
+            assert s.n_witness_pairs >= 10, s.library
+            assert s.max_power_gap_w >= 20.0, s.library
+
+    def test_mkl_faster_than_openblas(self, result):
+        by_lib = {s.library: s for s in result.series}
+        assert (
+            by_lib["mkl"].plateau_gflops > by_lib["openblas"].plateau_gflops
+        )
+
+
+class TestFig6Additivity:
+    @pytest.fixture(scope="class")
+    def p100_result(self):
+        return fig6_additivity.run(P100)
+
+    @pytest.fixture(scope="class")
+    def k40c_result(self):
+        return fig6_additivity.run(K40C)
+
+    def test_times_always_additive(self, p100_result, k40c_result):
+        for r in (p100_result, k40c_result):
+            assert all(c.time_error < 0.03 for c in r.cells)
+
+    def test_energy_highly_nonadditive_at_5120(self, p100_result, k40c_result):
+        assert p100_result.max_energy_error(5120) > 0.15
+        assert k40c_result.max_energy_error(5120) > 0.15
+
+    def test_nonadditivity_decreases_with_n(self, p100_result):
+        assert (
+            p100_result.max_energy_error(5120)
+            > p100_result.max_energy_error(12288)
+            > p100_result.max_energy_error(15360)
+        )
+
+    def test_device_thresholds(self, p100_result, k40c_result):
+        # P100: additive beyond 15360; K40c: beyond 10240.
+        assert p100_result.max_energy_error(15360) < 0.03
+        assert p100_result.max_energy_error(17408) < 0.03
+        assert k40c_result.max_energy_error(10240) < 0.03
+        assert p100_result.max_energy_error(12288) > 0.05
+        assert k40c_result.max_energy_error(7168) > 0.05
+
+    def test_58w_reattribution_restores_additivity(self, k40c_result):
+        for c in k40c_result.cells:
+            assert c.energy_error_reattributed <= c.energy_error + 1e-12
+            assert c.energy_error_reattributed < 0.06
+
+
+class TestFig7K40c:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig7_k40c_pareto.run()
+
+    def test_weak_ep_violated(self, result):
+        assert all(not s.weak_ep.holds for s in result.studies)
+
+    def test_global_front_single_point(self, result):
+        """Paper: performance-optimal is also energy-optimal."""
+        for s in result.studies:
+            assert len(s.front) == 1, s.workload
+
+    def test_global_optimum_is_bs32(self, result):
+        """Paper: 'The value of BS for this configuration is 32'."""
+        for s in result.studies:
+            assert s.front[0].config["bs"] == 32
+
+    def test_local_fronts_multi_point(self, result):
+        sizes = [len(s.local_front) for s in result.studies]
+        assert all(3 <= n <= 6 for n in sizes)
+
+    def test_local_savings_band(self, result):
+        # Paper: up to 18% at 7%; at least one size must offer >= 10%.
+        best = max(s.local_headline.energy_saving for s in result.studies)
+        assert 0.10 <= best <= 0.30
+        for s in result.studies:
+            assert s.local_headline.perf_degradation <= 0.12
+
+
+class TestFig8P100:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8_p100_pareto.run()
+
+    def test_weak_ep_violated(self, result):
+        assert all(not s.weak_ep.holds for s in result.studies)
+
+    def test_global_fronts_multi_point(self, result):
+        """Paper: 2-3 points, unlike the K40c's single point."""
+        for s in result.studies:
+            assert 2 <= len(s.front) <= 4, s.workload
+
+    def test_savings_band(self, result):
+        # Paper reports up to 50% at 11%; our calibrated simulator
+        # reaches ~10-26% with the same structure (see EXPERIMENTS.md).
+        best = max(s.headline.energy_saving for s in result.studies)
+        assert 0.08 <= best <= 0.55
+        for s in result.studies:
+            assert s.headline.perf_degradation <= 0.15
+
+
+class TestHeadline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return headline.run()
+
+    def _device(self, result, name):
+        return next(d for d in result.devices if name in d.device)
+
+    def test_k40c_global_front_always_one(self, result):
+        d = self._device(result, "K40c")
+        assert d.global_front_avg == 1.0
+        assert d.global_front_max == 1
+        assert d.global_bs_always_32
+
+    def test_k40c_local_front_stats(self, result):
+        # Paper: average 4, maximum 5.
+        d = self._device(result, "K40c")
+        assert 3.0 <= d.local_front_avg <= 5.0
+        assert 4 <= d.local_front_max <= 6
+
+    def test_k40c_max_saving_near_18pct(self, result):
+        d = self._device(result, "K40c")
+        assert 0.10 <= d.max_saving <= 0.28
+
+    def test_p100_global_front_stats(self, result):
+        # Paper: average 2, maximum 3.
+        d = self._device(result, "P100")
+        assert 2.0 <= d.global_front_avg <= 3.5
+        assert 2 <= d.global_front_max <= 4
+
+    def test_p100_saving_exceeds_k40c_global_structure(self, result):
+        """The ordering the paper reports: the P100 offers global
+        bi-objective trade-offs while the K40c's global front is
+        degenerate."""
+        k40c = self._device(result, "K40c")
+        p100 = self._device(result, "P100")
+        assert p100.global_front_avg > k40c.global_front_avg
+        assert p100.max_saving >= 0.15
+
+    def test_p100_savings_shrink_with_n(self):
+        """Fig. 2 vs Fig. 8: 50% at N=10240 vs 12.5% at N=18432."""
+        from repro.apps.matmul_gpu import MatmulGPUApp
+        from repro.core import max_energy_saving
+
+        app = MatmulGPUApp(P100)
+        small = max_energy_saving(app.sweep_points(10240)).energy_saving
+        large = max_energy_saving(app.sweep_points(18432)).energy_saving
+        assert small > large

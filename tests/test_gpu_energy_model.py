@@ -1,0 +1,38 @@
+"""Tests for the Section V.C GPU energy-model experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import gpu_energy_model
+from repro.machines import K40C, P100
+
+
+class TestGPUEnergyModel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return gpu_energy_model.run(P100)
+
+    def test_events_survive_selection_at_small_n(self, result):
+        assert len(result.selected_events) >= 2
+
+    def test_model_usable_where_counters_sound(self, result):
+        # Coarse but informative at counter-safe sizes.
+        assert result.loocv_mean_error < 0.35
+
+    def test_counters_overflow_at_paper_scale(self, result):
+        """The paper's Section V.C finding."""
+        assert len(result.overflowed_at_large_n) >= 3
+        assert "flop_count_dp" in result.overflowed_at_large_n
+
+    def test_model_collapses_at_large_n(self, result):
+        assert result.large_n_prediction_error > 0.5
+
+    def test_k40c_variant_runs(self):
+        r = gpu_energy_model.run(K40C, large_n=4096)
+        assert r.large_n_prediction_error > 0.5
+
+    def test_render(self, result):
+        out = result.render()
+        assert "inadequate" in out
+        assert "LOOCV" in out

@@ -1,0 +1,157 @@
+"""Tests for sweep serialization and the resumable measurement session."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.io import FORMAT, SweepDocument, load_sweep, save_sweep
+from repro.measurement.runner import ExperimentRunner
+from repro.measurement.session import MeasurementSession
+
+
+def sample_doc():
+    return SweepDocument(
+        device="p100",
+        workload=10240,
+        points=(
+            ParetoPoint(30.6, 7916.0, {"bs": 32, "g": 1, "r": 24}),
+            ParetoPoint(31.0, 6356.0, {"bs": 27, "g": 1, "r": 24}),
+        ),
+    )
+
+
+class TestSweepIO:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(path, sample_doc())
+        loaded = load_sweep(path)
+        assert loaded.device == "p100"
+        assert loaded.workload == 10240
+        assert loaded.points[0].config == {"bs": 32, "g": 1, "r": 24}
+        assert loaded.points[1].energy_j == 6356.0
+
+    def test_front_survives_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        save_sweep(path, sample_doc())
+        loaded = load_sweep(path)
+        assert [p.objectives() for p in pareto_front(loaded.points)] == [
+            p.objectives() for p in pareto_front(sample_doc().points)
+        ]
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        doc = sample_doc().to_dict()
+        doc["format"] = "other/9"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="unsupported"):
+            load_sweep(path)
+
+    def test_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "bad.json"
+        doc = sample_doc().to_dict()
+        del doc["points"]
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="points"):
+            load_sweep(path)
+
+    def test_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_sweep(path)
+
+    def test_format_constant_exported(self):
+        assert sample_doc().to_dict()["format"] == FORMAT
+
+
+def noisy_trial_factory(seed_base=0):
+    counters = {"calls": 0}
+
+    def factory(config):
+        rng = np.random.default_rng(seed_base + config["bs"])
+
+        def trial():
+            counters["calls"] += 1
+            t = float(rng.normal(10.0 + config["bs"], 0.1))
+            return t, t * 10.0
+
+        return trial
+
+    return factory, counters
+
+
+class TestMeasurementSession:
+    def test_measures_and_persists(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        factory, counters = noisy_trial_factory()
+        session = MeasurementSession(path, ExperimentRunner(min_runs=5))
+        record = session.measure({"bs": 4}, factory)
+        assert record.converged
+        assert path.exists()
+        assert len(session) == 1
+
+    def test_resume_skips_measured(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        factory, counters = noisy_trial_factory()
+        runner = ExperimentRunner(min_runs=5)
+        MeasurementSession(path, runner).measure({"bs": 4}, factory)
+        calls_after_first = counters["calls"]
+
+        reopened = MeasurementSession(path, runner)
+        assert {"bs": 4} in reopened
+        reopened.measure({"bs": 4}, factory)
+        assert counters["calls"] == calls_after_first  # no re-measurement
+
+    def test_sweep_mixes_cached_and_fresh(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        factory, _ = noisy_trial_factory()
+        runner = ExperimentRunner(min_runs=5)
+        session = MeasurementSession(path, runner)
+        session.measure({"bs": 4}, factory)
+        records = session.sweep([{"bs": 4}, {"bs": 8}], factory)
+        assert len(records) == 2
+        assert len(session) == 2
+
+    def test_points_ready_for_analysis(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        factory, _ = noisy_trial_factory()
+        session = MeasurementSession(path, ExperimentRunner(min_runs=5))
+        session.sweep([{"bs": 4}, {"bs": 8}, {"bs": 16}], factory)
+        front = pareto_front(session.points())
+        assert len(front) >= 1
+
+    def test_key_order_insensitive(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        factory, counters = noisy_trial_factory()
+        session = MeasurementSession(path, ExperimentRunner(min_runs=5))
+        session.measure({"bs": 4, "g": 1}, factory)
+        calls = counters["calls"]
+        session.measure({"g": 1, "bs": 4}, factory)
+        assert counters["calls"] == calls
+
+    def test_corrupt_store_rejected(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        path.write_text('{"config": {"bs": 4}}\n')  # missing fields
+        with pytest.raises(ValueError, match="corrupt"):
+            MeasurementSession(path)
+
+    def test_nonconvergent_not_persisted(self, tmp_path):
+        path = tmp_path / "session.jsonl"
+        rng = np.random.default_rng(0)
+
+        def factory(config):
+            def trial():
+                return float(rng.lognormal(0, 2.0)), 1.0
+
+            return trial
+
+        session = MeasurementSession(
+            path, ExperimentRunner(precision=0.0001, max_runs=10)
+        )
+        with pytest.raises(RuntimeError, match="did not converge"):
+            session.measure({"bs": 4}, factory)
+        assert len(session) == 0

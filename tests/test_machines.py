@@ -1,0 +1,70 @@
+"""Tests for the machine-specification registry (Table I)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import HASWELL, K40C, MACHINES, P100, get_machine
+
+
+class TestHaswell:
+    def test_core_counts(self):
+        assert HASWELL.physical_cores == 24
+        assert HASWELL.logical_cpus == 48
+
+    def test_peak_dp_flops(self):
+        # 24 cores × 2.3 GHz × 16 flops/cycle.
+        assert HASWELL.peak_dp_flops == pytest.approx(883.2e9)
+
+    def test_cache_sizes_match_table1(self):
+        assert HASWELL.l1d.capacity_bytes == 32 * 1024
+        assert HASWELL.l2.capacity_bytes == 256 * 1024
+        assert HASWELL.l3.capacity_bytes == 30720 * 1024
+
+    def test_dtlb_reach(self):
+        assert HASWELL.dtlb_reach_bytes == 1024 * 4096
+
+
+class TestGPUs:
+    def test_k40c_table1_rows(self):
+        assert K40C.cuda_cores == 2880
+        assert K40C.base_clock_hz == pytest.approx(745e6)
+        assert K40C.l2_bytes == 1536 * 1024
+        assert K40C.tdp_w == 235.0
+        assert not K40C.has_autoboost
+
+    def test_p100_table1_rows(self):
+        assert P100.cuda_cores == 3584
+        assert P100.base_clock_hz == pytest.approx(1328e6)
+        assert P100.l2_bytes == 4096 * 1024
+        assert P100.tdp_w == 250.0
+        assert P100.has_autoboost
+
+    def test_peak_dp_ratio(self):
+        # K40c: 1/3 DP ratio; P100: 1/2.
+        assert K40C.peak_dp_flops == pytest.approx(
+            2 * 2880 * 745e6 / 3.0
+        )
+        assert P100.peak_dp_flops == pytest.approx(2 * 3584 * 1328e6 / 2.0)
+
+    def test_cores_per_sm(self):
+        assert K40C.cores_per_sm == 192
+        assert P100.cores_per_sm == 64
+
+    def test_additivity_thresholds(self):
+        assert K40C.additivity_threshold_n == 10240
+        assert P100.additivity_threshold_n == 15360
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_machine("p100") is P100
+        assert get_machine("K40C") is K40C
+        assert get_machine("Haswell") is HASWELL
+
+    def test_unknown_lists_valid_names(self):
+        with pytest.raises(KeyError, match="haswell"):
+            get_machine("rtx4090")
+
+    def test_registry_complete(self):
+        assert set(MACHINES) == {"haswell", "k40c", "p100"}

@@ -1,0 +1,43 @@
+"""Tests for the supplementary matmul strong-EP study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import matmul_strong_ep
+
+
+class TestMatmulStrongEP:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return matmul_strong_ep.run()
+
+    def test_four_series(self, result):
+        assert len(result.studies) == 4
+
+    def test_reference_configuration_nearly_proportional(self, result):
+        """A fixed compute-bound configuration scales ~linearly."""
+        for dev in ("K40c", "P100"):
+            study = result.by_config(dev, "BS=32,G=1")
+            assert study.result.holds, dev
+            assert study.result.max_relative_deviation < 0.08
+
+    def test_grouped_configuration_violates(self, result):
+        """Crossing the additivity threshold breaks proportionality."""
+        for dev in ("K40c", "P100"):
+            study = result.by_config(dev, "BS=24,G=3")
+            assert not study.result.holds, dev
+            assert study.result.max_relative_deviation > 0.10
+
+    def test_energy_monotone_in_work_everywhere(self, result):
+        for _, study in result.studies:
+            energies = list(study.energy_j)
+            assert energies == sorted(energies)
+
+    def test_lookup_unknown(self, result):
+        with pytest.raises(KeyError):
+            result.by_config("K40c", "BS=1,G=1")
+
+    def test_render(self, result):
+        out = result.render()
+        assert "holds" in out and "violated" in out

@@ -1,0 +1,189 @@
+"""Tests for NVML/RAPL emulation and the method-comparison study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.comparison import compare_cpu_methods, compare_gpu_methods
+from repro.machines import HASWELL, P100
+from repro.measurement.powermeter import PowerPhase, PowerTrace
+from repro.simcpu.power import cpu_power
+from repro.simcpu.processor import DGEMMConfig, MulticoreCPU
+from repro.simcpu.rapl import (
+    ENERGY_UNIT_J,
+    RAPLCounters,
+    rapl_energy_j,
+)
+from repro.simcpu.topology import place_threads
+from repro.simgpu.device import GPUDevice
+from repro.simgpu.nvml import NVMLSensor
+
+
+def trace(duration, dynamic_w):
+    return PowerTrace(phases=(PowerPhase(duration, dynamic_w),))
+
+
+class TestNVMLSensor:
+    def test_reports_board_power(self):
+        sensor = NVMLSensor(P100, noise_fraction=0.0, bias=1.0)
+        sample = sensor.poll(trace(100.0, 150.0), 50.0)
+        assert sample.power_w == pytest.approx(P100.idle_power_w + 150.0)
+
+    def test_bias_reads_low(self):
+        sensor = NVMLSensor(P100, noise_fraction=0.0, bias=0.96)
+        sample = sensor.poll(trace(100.0, 150.0), 50.0)
+        assert sample.power_w == pytest.approx(
+            0.96 * (P100.idle_power_w + 150.0)
+        )
+
+    def test_averaging_window_smears_onset(self):
+        sensor = NVMLSensor(P100, noise_fraction=0.0, bias=1.0)
+        # At t=0.3s into a burst, the 1 s boxcar still contains pre-run
+        # time only if the trace started at power... poll early in a
+        # two-phase trace: idle-ish then burst.
+        t = PowerTrace(
+            phases=(PowerPhase(1.0, 0.0), PowerPhase(5.0, 200.0))
+        )
+        early = sensor.poll(t, 1.3)
+        late = sensor.poll(t, 4.0)
+        assert early.power_w < late.power_w
+
+    def test_poll_between_refreshes_repeats(self):
+        sensor = NVMLSensor(P100, update_period_s=0.5)
+        a = sensor.poll(trace(10.0, 150.0), 1.01)
+        b = sensor.poll(trace(10.0, 150.0), 1.49)
+        assert a.power_mw == b.power_mw
+
+    def test_energy_underestimates_short_kernel(self):
+        sensor = NVMLSensor(P100, noise_fraction=0.0)
+        short = trace(0.5, 200.0)  # shorter than the averaging window
+        measured = sensor.measure_energy_j(short)
+        assert measured < 0.9 * short.true_energy_j()
+
+    def test_long_kernel_error_is_bias_dominated(self):
+        sensor = NVMLSensor(P100, noise_fraction=0.0, bias=0.95)
+        long = trace(300.0, 200.0)
+        measured = sensor.measure_energy_j(long)
+        # Dynamic reading scales ~ with the bias once averaging amortizes.
+        assert measured == pytest.approx(0.95 * long.true_energy_j(), rel=0.03)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"averaging_window_s": 0.0},
+            {"update_period_s": 0.0},
+            {"bias": 0.0},
+            {"noise_fraction": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            NVMLSensor(P100, **kwargs)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            NVMLSensor(P100).poll(trace(1.0, 1.0), -0.5)
+
+
+class TestRAPL:
+    def _power(self):
+        return cpu_power(
+            HASWELL,
+            __import__("repro.simcpu.calibration", fromlist=["HASWELL_CAL"]).HASWELL_CAL,
+            place_threads(HASWELL, 24),
+            flops_per_s=7e11,
+            traffic_bytes_per_s=3e10,
+            n_groups=2,
+        )
+
+    def test_counters_accumulate(self):
+        counters = RAPLCounters(HASWELL)
+        before = counters.read()
+        counters.advance(self._power(), 10.0)
+        after = counters.read()
+        pkg, dram = rapl_energy_j(before, after)
+        assert pkg > 0 and dram > 0
+
+    def test_energy_unit_granularity(self):
+        counters = RAPLCounters(HASWELL)
+        before = counters.read()
+        counters.advance(self._power(), 1.0)
+        after = counters.read()
+        pkg, _ = rapl_energy_j(before, after)
+        # Quantized to the 61 µJ unit.
+        assert pkg % ENERGY_UNIT_J == pytest.approx(0.0, abs=1e-12)
+
+    def test_per_socket_counters(self):
+        counters = RAPLCounters(HASWELL)
+        counters.advance(self._power(), 5.0)
+        reading = counters.read()
+        assert len(reading.pkg_ticks) == 2
+        assert reading.pkg_ticks[0] == reading.pkg_ticks[1]
+
+    def test_wraparound_corrected(self):
+        counters = RAPLCounters(HASWELL)
+        # ~130 W/socket wraps 2^32 ticks (262 kJ) in ~2000 s; advance
+        # past the wrap in two polls.
+        p = self._power()
+        before = counters.read()
+        counters.advance(p, 3000.0)
+        mid = counters.read()
+        counters.advance(p, 3000.0)
+        after = counters.read()
+        e1, _ = rapl_energy_j(before, mid)
+        e2, _ = rapl_energy_j(mid, after)
+        assert e1 == pytest.approx(e2, rel=1e-6)
+        assert e1 > 0
+
+    def test_under_coverage(self):
+        """RAPL misses platform power: PKG+DRAM < wall dynamic truth."""
+        counters = RAPLCounters(HASWELL)
+        p = self._power()
+        before = counters.read()
+        counters.advance(p, 100.0)
+        after = counters.read()
+        pkg, dram = rapl_energy_j(before, after)
+        assert pkg + dram < p.dynamic_w * 100.0
+
+    def test_ordering_validated(self):
+        counters = RAPLCounters(HASWELL)
+        before = counters.read()
+        counters.advance(self._power(), 1.0)
+        after = counters.read()
+        with pytest.raises(ValueError):
+            rapl_energy_j(after, before)
+
+    def test_duration_validated(self):
+        with pytest.raises(ValueError):
+            RAPLCounters(HASWELL).advance(self._power(), 0.0)
+
+
+class TestComparisons:
+    def test_gpu_wall_meter_most_accurate(self, p100: GPUDevice):
+        run = p100.run_matmul(6144, 24, g=1, r=4)
+        result = compare_gpu_methods(P100, run, seed=5)
+        wall = abs(result.by_method("wattsup").relative_error)
+        nvml = abs(result.by_method("nvml").relative_error)
+        assert wall < 0.02
+        assert nvml > wall
+        assert result.by_method("nvml").relative_error < 0  # reads low
+
+    def test_cpu_wall_meter_most_accurate(self, haswell_cpu: MulticoreCPU):
+        run = haswell_cpu.run_dgemm(17408, DGEMMConfig("row", 2, 12))
+        result = compare_cpu_methods(HASWELL, run, seed=6)
+        wall = abs(result.by_method("wattsup").relative_error)
+        rapl = abs(result.by_method("rapl").relative_error)
+        assert wall < 0.02
+        assert rapl > 0.05  # systematic under-coverage
+        assert result.by_method("rapl").relative_error < 0
+
+    def test_unknown_method_lookup(self, p100: GPUDevice):
+        run = p100.run_matmul(4096, 16)
+        result = compare_gpu_methods(P100, run)
+        with pytest.raises(KeyError):
+            result.by_method("ipmi")
+
+    def test_validation(self, p100: GPUDevice):
+        run = p100.run_matmul(4096, 16)
+        with pytest.raises(ValueError):
+            compare_gpu_methods(P100, run, host_overhead_w=-1.0)

@@ -1,0 +1,105 @@
+"""Tests for the WattsUp Pro power-meter simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement.powermeter import PowerMeter, PowerPhase, PowerTrace
+
+
+def trace(*phases):
+    return PowerTrace(phases=tuple(PowerPhase(d, p) for d, p in phases))
+
+
+class TestPowerTrace:
+    def test_total_duration(self):
+        t = trace((2.0, 100.0), (3.0, 150.0))
+        assert t.total_duration_s == pytest.approx(5.0)
+
+    def test_power_at_phase_boundaries(self):
+        t = trace((2.0, 100.0), (3.0, 150.0))
+        assert t.power_at(0.0) == 100.0
+        assert t.power_at(1.999) == 100.0
+        assert t.power_at(2.0) == 150.0
+        assert t.power_at(10.0) == 150.0  # holds last phase
+
+    def test_true_energy(self):
+        t = trace((2.0, 100.0), (3.0, 150.0))
+        assert t.true_energy_j() == pytest.approx(650.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            trace((1.0, 100.0)).power_at(-0.1)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(phases=())
+
+    @pytest.mark.parametrize("d,p", [(0.0, 100.0), (-1.0, 100.0), (1.0, -5.0)])
+    def test_invalid_phase(self, d, p):
+        with pytest.raises(ValueError):
+            PowerPhase(d, p)
+
+
+class TestPowerMeter:
+    def test_noiseless_sampling_exact(self):
+        meter = PowerMeter(noise_fraction=0.0, quantization_w=0.0)
+        samples = meter.sample_run(trace((10.0, 120.0)))
+        assert len(samples) == 10
+        assert all(s.power_w == pytest.approx(120.0) for s in samples)
+
+    def test_sample_timestamps_are_midpoints(self):
+        meter = PowerMeter(noise_fraction=0.0)
+        samples = meter.sample_run(trace((3.0, 100.0)))
+        assert [s.t_s for s in samples] == [0.5, 1.5, 2.5]
+
+    def test_short_trace_padded_to_two_samples(self):
+        meter = PowerMeter(noise_fraction=0.0)
+        samples = meter.sample_run(trace((0.3, 100.0)))
+        assert len(samples) >= 2
+
+    def test_quantization(self):
+        meter = PowerMeter(noise_fraction=0.0, quantization_w=0.1)
+        samples = meter.sample_run(trace((5.0, 100.037)))
+        assert all(s.power_w == pytest.approx(100.0) for s in samples)
+
+    def test_noise_is_seeded_deterministic(self):
+        t = trace((20.0, 150.0))
+        s1 = PowerMeter(rng=np.random.default_rng(42)).sample_run(t)
+        s2 = PowerMeter(rng=np.random.default_rng(42)).sample_run(t)
+        assert [a.power_w for a in s1] == [b.power_w for b in s2]
+
+    def test_noise_magnitude_calibrated(self):
+        meter = PowerMeter(
+            noise_fraction=0.005, quantization_w=0.0,
+            rng=np.random.default_rng(0),
+        )
+        samples = meter.sample_run(trace((5000.0, 200.0)))
+        values = np.array([s.power_w for s in samples])
+        assert values.std() / values.mean() == pytest.approx(0.005, rel=0.15)
+
+    def test_measured_energy_converges_to_truth(self):
+        meter = PowerMeter(rng=np.random.default_rng(1))
+        t = trace((300.0, 130.0), (200.0, 180.0))
+        measured = meter.measure_energy_j(t)
+        assert measured == pytest.approx(t.true_energy_j(), rel=0.01)
+
+    def test_power_never_negative(self):
+        meter = PowerMeter(
+            noise_fraction=2.0, rng=np.random.default_rng(2)
+        )  # absurd noise
+        samples = meter.sample_run(trace((50.0, 1.0)))
+        assert all(s.power_w >= 0.0 for s in samples)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"sample_interval_s": 0.0},
+            {"noise_fraction": -0.1},
+            {"quantization_w": -0.1},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            PowerMeter(**kwargs)

@@ -1,0 +1,77 @@
+"""Tests for the experiment runner (joint time/energy protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.measurement.runner import ExperimentRunner
+
+
+class TestExperimentRunner:
+    def test_noiseless_trial_converges_immediately(self):
+        runner = ExperimentRunner(min_runs=5)
+        dp = runner.measure(lambda: (2.0, 150.0))
+        assert dp.converged
+        assert dp.n_runs == 5
+        assert dp.time_s == pytest.approx(2.0)
+        assert dp.energy_j == pytest.approx(150.0)
+
+    def test_noisy_trial_meets_both_precisions(self):
+        rng = np.random.default_rng(0)
+
+        def trial():
+            t = rng.normal(10.0, 0.5)
+            return t, t * rng.normal(100.0, 4.0)
+
+        dp = ExperimentRunner(precision=0.025).measure(trial)
+        assert dp.converged
+        assert dp.time_precision <= 0.025
+        assert dp.energy_precision <= 0.025
+
+    def test_runs_shared_between_observables(self):
+        calls = 0
+
+        def trial():
+            nonlocal calls
+            calls += 1
+            return 1.0, 2.0
+
+        dp = ExperimentRunner(min_runs=5).measure(trial)
+        assert calls == dp.n_runs
+
+    def test_one_noisy_observable_drives_repetition(self):
+        rng = np.random.default_rng(1)
+
+        def trial():
+            return 1.0, float(rng.normal(100.0, 10.0))
+
+        dp = ExperimentRunner().measure(trial)
+        assert dp.converged
+        assert dp.n_runs > 5  # energy noise forces extra runs
+        assert dp.time_precision == 0.0
+
+    def test_zero_energy_trials_allowed(self):
+        dp = ExperimentRunner(min_runs=5).measure(lambda: (1.0, 0.0))
+        assert dp.converged
+        assert dp.energy_j == 0.0
+
+    def test_nonconvergence_reported(self):
+        rng = np.random.default_rng(2)
+        runner = ExperimentRunner(precision=0.0001, max_runs=20)
+        dp = runner.measure(lambda: (float(rng.lognormal(0, 1)), 1.0))
+        assert not dp.converged
+        assert dp.n_runs == 20
+
+    @pytest.mark.parametrize("t,e", [(0.0, 1.0), (-1.0, 1.0), (1.0, -1.0)])
+    def test_invalid_trial_values(self, t, e):
+        with pytest.raises(ValueError):
+            ExperimentRunner().measure(lambda: (t, e))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"precision": 0.0}, {"min_runs": 1}, {"min_runs": 6, "max_runs": 5}],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentRunner(**kwargs)

@@ -1,0 +1,127 @@
+"""Metamorphic tests: simulator invariants under input transformations.
+
+Rather than asserting absolute values, these tests assert relations
+that must hold between *pairs* of simulator runs — the standard way to
+test models whose exact outputs are calibration-dependent.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machines import HASWELL, K40C, P100
+from repro.simcpu.processor import DGEMMConfig, MulticoreCPU
+from repro.simgpu.device import GPUDevice
+
+bs_strategy = st.sampled_from([4, 8, 12, 16, 20, 24, 28, 32])
+n_strategy = st.sampled_from([2048, 3072, 4096, 6144])
+
+
+class TestGPUMetamorphic:
+    @given(n_strategy, bs_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_doubling_r_doubles_time_and_energy_pinned(self, n, bs):
+        # Exact linearity holds with clocks pinned; with autoboost a
+        # longer sequence heat-soaks and throttles differently.
+        dev = GPUDevice(P100)
+        one = dev.run_matmul(n, bs, r=1, fixed_clock=True)
+        two = dev.run_matmul(n, bs, r=2, fixed_clock=True)
+        assert two.time_s == pytest.approx(2 * one.time_s, rel=1e-6)
+        assert two.dynamic_energy_j == pytest.approx(
+            2 * one.dynamic_energy_j, rel=1e-6
+        )
+
+    @given(n_strategy, bs_strategy)
+    @settings(max_examples=15, deadline=None)
+    def test_doubling_r_at_least_doubles_time_boosted(self, n, bs):
+        # With autoboost, the second half can only be as fast as or
+        # slower than the cold first half (heat-soak throttling).
+        dev = GPUDevice(P100)
+        one = dev.run_matmul(n, bs, r=1)
+        two = dev.run_matmul(n, bs, r=2)
+        assert two.time_s >= 2 * one.time_s * 0.999
+
+    @given(bs_strategy)
+    @settings(max_examples=8, deadline=None)
+    def test_bigger_matrix_never_faster(self, bs):
+        dev = GPUDevice(K40C)
+        small = dev.run_matmul(2048, bs)
+        big = dev.run_matmul(4096, bs)
+        assert big.time_s > small.time_s
+        assert big.dynamic_energy_j > small.dynamic_energy_j
+
+    @given(n_strategy, bs_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_fixed_clock_never_faster_than_boost(self, n, bs):
+        # Pinning the base clock can only cost time on an autoboost part.
+        dev = GPUDevice(P100)
+        free = dev.run_matmul(n, bs)
+        pinned = dev.run_matmul(n, bs, fixed_clock=True)
+        assert pinned.time_s >= free.time_s * 0.999
+
+    @given(n_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_power_bounded_by_cap_when_soaked(self, n):
+        dev = GPUDevice(P100)
+        # Long sequences heat-soak; sustained board power must respect
+        # the cap (brief cold-boost excursions are exempt).
+        run = dev.run_matmul(n, 32, r=200)
+        if run.throttled:
+            board = run.dynamic_power_w + P100.idle_power_w
+            assert board <= dev.cal.power_cap_w * 1.15
+
+    @given(bs_strategy, st.sampled_from([1, 2]))
+    @settings(max_examples=16, deadline=None)
+    def test_energy_equals_power_times_time(self, bs, g):
+        dev = GPUDevice(K40C)
+        run = dev.run_matmul(3072, bs, g=g, r=3)
+        assert run.dynamic_energy_j == pytest.approx(
+            run.dynamic_power_w * run.time_s, rel=1e-9
+        )
+
+
+class TestCPUMetamorphic:
+    @given(st.sampled_from([4096, 8192, 12288]))
+    @settings(max_examples=10, deadline=None)
+    def test_work_scales_cubically(self, n):
+        cpu = MulticoreCPU(HASWELL)
+        cfg = DGEMMConfig("row", 2, 12)
+        t1 = cpu.run_dgemm(n, cfg).time_s
+        t2 = cpu.run_dgemm(2 * n, cfg).time_s
+        assert t2 / t1 == pytest.approx(8.0, rel=0.15)
+
+    @given(st.sampled_from([(1, 12), (2, 6), (3, 4), (12, 1)]))
+    @settings(max_examples=8, deadline=None)
+    def test_same_threads_same_placement_power_floor(self, pt):
+        # All 12-thread configurations share the same placement, so the
+        # core/uncore power floor is identical; only dTLB/flops differ.
+        cpu = MulticoreCPU(HASWELL)
+        p, t = pt
+        r = cpu.run_dgemm(8192, DGEMMConfig("row", p, t))
+        base = cpu.run_dgemm(8192, DGEMMConfig("row", 1, 12))
+        assert r.power.cores_w == pytest.approx(base.power.cores_w)
+        assert r.power.uncore_w == pytest.approx(base.power.uncore_w)
+        assert r.power.dtlb_w >= base.power.dtlb_w * 0.999
+
+    @given(st.sampled_from(["row", "col", "block"]))
+    @settings(max_examples=6, deadline=None)
+    def test_partition_changes_power_not_workload(self, partition):
+        cpu = MulticoreCPU(HASWELL)
+        r = cpu.run_dgemm(8192, DGEMMConfig(partition, 4, 6))
+        # Work conserved: achieved flops × time == 2N³ regardless.
+        assert r.gflops * 1e9 * r.time_s == pytest.approx(
+            2.0 * 8192.0**3, rel=1e-9
+        )
+
+    def test_more_groups_never_cheaper_energy_same_threads(self):
+        """The Section III direction: at fixed thread count, more
+        threadgroups mean more imbalance + more dTLB thrash — dynamic
+        energy must not decrease."""
+        cpu = MulticoreCPU(HASWELL)
+        energies = [
+            cpu.run_dgemm(12288, DGEMMConfig("row", p, 24 // p)).dynamic_energy_j
+            for p in (1, 2, 4, 8, 24)
+        ]
+        assert energies == sorted(energies)

@@ -1,0 +1,108 @@
+"""Tests for the binned nonfunctionality detector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.nonfunctionality import nonfunctionality_test
+
+
+def noisy_function(rng, n=200, noise=0.02):
+    x = rng.uniform(0.0, 1.0, n)
+    y = 100.0 + 80.0 * x
+    return x, y * (1.0 + noise * rng.standard_normal(n))
+
+
+def two_branch_relation(rng, n=200, gap=0.3):
+    x = rng.uniform(0.0, 1.0, n)
+    branch = rng.integers(0, 2, n)
+    y = (100.0 + 80.0 * x) * (1.0 + gap * branch)
+    return x, y
+
+
+class TestDetector:
+    def test_noisy_function_passes(self):
+        rng = np.random.default_rng(0)
+        x, y = noisy_function(rng, noise=0.02)
+        verdict = nonfunctionality_test(x, y, noise_scale=0.025)
+        assert not verdict.nonfunctional
+        assert verdict.ratio < 3.0
+
+    def test_two_branch_relation_detected(self):
+        rng = np.random.default_rng(1)
+        x, y = two_branch_relation(rng, gap=0.3)
+        verdict = nonfunctionality_test(x, y, noise_scale=0.025)
+        assert verdict.nonfunctional
+        assert verdict.ratio > 3.0
+
+    def test_worst_bin_localizes_break(self):
+        rng = np.random.default_rng(2)
+        # Branching only in the upper half of the x range.
+        x = rng.uniform(0.0, 1.0, 400)
+        y = 100.0 + 80.0 * x
+        upper = x > 0.5
+        y = y * np.where(upper & (rng.random(400) < 0.5), 1.4, 1.0)
+        verdict = nonfunctionality_test(x, y, noise_scale=0.025)
+        assert verdict.nonfunctional
+        assert verdict.worst_bin_center > 0.5
+
+    def test_nonlinear_but_functional_passes(self):
+        # A steep nonlinear curve must NOT be flagged (the detector
+        # tests multi-valuedness, not nonlinearity).
+        rng = np.random.default_rng(3)
+        x = rng.uniform(0.1, 1.0, 300)
+        y = 20.0 * np.exp(2.0 * x) * (1 + 0.02 * rng.standard_normal(300))
+        verdict = nonfunctionality_test(x, y, n_bins=24, noise_scale=0.05)
+        assert not verdict.nonfunctional
+
+    def test_sensitivity_to_noise_scale(self):
+        rng = np.random.default_rng(4)
+        x, y = noisy_function(rng, noise=0.10)
+        strict = nonfunctionality_test(x, y, noise_scale=0.01)
+        lenient = nonfunctionality_test(x, y, noise_scale=0.10)
+        assert strict.ratio > lenient.ratio
+        assert strict.nonfunctional and not lenient.nonfunctional
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_bins": 1},
+            {"noise_scale": 0.0},
+            {"threshold": 0.0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        rng = np.random.default_rng(5)
+        x, y = noisy_function(rng)
+        with pytest.raises(ValueError):
+            nonfunctionality_test(x, y, **kwargs)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            nonfunctionality_test([1.0, 2.0], [1.0, 2.0])  # too few
+        with pytest.raises(ValueError):
+            nonfunctionality_test(
+                [1.0, 2.0, 3.0, 4.0], [1.0, -2.0, 3.0, 4.0]
+            )
+        with pytest.raises(ValueError, match="nonzero range"):
+            nonfunctionality_test(
+                [1.0, 1.0, 1.0, 1.0], [1.0, 2.0, 3.0, 4.0]
+            )
+
+    def test_sparse_bins_rejected(self):
+        # All distinct x, one sample per bin -> no power.
+        with pytest.raises(ValueError, match="no power"):
+            nonfunctionality_test(
+                np.linspace(0, 1, 6), np.ones(6) * 10.0, n_bins=100
+            )
+
+    @given(st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_property_gap_always_detected(self, gap):
+        rng = np.random.default_rng(int(gap * 1e6))
+        x, y = two_branch_relation(rng, n=400, gap=max(gap, 0.15))
+        verdict = nonfunctionality_test(x, y, noise_scale=0.01)
+        assert verdict.nonfunctional

@@ -1,0 +1,130 @@
+"""Cross-cutting hypothesis property tests: round-trips and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.io import SweepDocument, load_sweep, save_sweep
+from repro.machines import HASWELL
+from repro.simcpu.procstat import (
+    parse_proc_stat,
+    render_proc_stat,
+    utilizations_between,
+)
+from repro.simcpu.topology import place_threads
+from repro.simcpu.utilization import utilization_vector
+
+point_strategy = st.tuples(
+    st.floats(min_value=0.001, max_value=1e5),
+    st.floats(min_value=0.001, max_value=1e7),
+    st.dictionaries(
+        st.sampled_from(["bs", "g", "r"]),
+        st.integers(min_value=1, max_value=64),
+        min_size=1,
+        max_size=3,
+    ),
+)
+
+
+class TestSweepDocumentRoundTrip:
+    @given(st.lists(point_strategy, min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_preserves_everything(self, tmp_path_factory, raw):
+        path = tmp_path_factory.mktemp("io") / "sweep.json"
+        doc = SweepDocument(
+            device="p100",
+            workload=4096,
+            points=tuple(ParetoPoint(t, e, cfg) for t, e, cfg in raw),
+        )
+        save_sweep(path, doc)
+        loaded = load_sweep(path)
+        assert len(loaded.points) == len(doc.points)
+        for a, b in zip(doc.points, loaded.points):
+            assert a.time_s == b.time_s
+            assert a.energy_j == b.energy_j
+            assert a.config == b.config
+
+    @given(st.lists(point_strategy, min_size=1, max_size=30))
+    @settings(max_examples=25, deadline=None)
+    def test_front_invariant_under_round_trip(self, tmp_path_factory, raw):
+        path = tmp_path_factory.mktemp("io") / "sweep.json"
+        pts = tuple(ParetoPoint(t, e, cfg) for t, e, cfg in raw)
+        save_sweep(path, SweepDocument("k40c", 1024, pts))
+        loaded = load_sweep(path)
+        assert [p.objectives() for p in pareto_front(loaded.points)] == [
+            p.objectives() for p in pareto_front(pts)
+        ]
+
+
+class TestProcStatRoundTrip:
+    @given(
+        st.integers(min_value=1, max_value=48),
+        st.lists(
+            st.floats(min_value=0.0, max_value=0.4),
+            min_size=48,
+            max_size=48,
+        ),
+        st.floats(min_value=100.0, max_value=5000.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arbitrary_utilizations_recovered(self, n_threads, jit, duration):
+        placement = place_threads(HASWELL, n_threads)
+        jitter = np.array(jit[:n_threads])
+        util = utilization_vector(HASWELL, placement, jitter, os_noise=0.0)
+        zero = parse_proc_stat(
+            "cpu  0 0 0 0 0 0 0 0 0 0\n"
+            + "".join(f"cpu{i} 0 0 0 0 0 0 0 0 0 0\n" for i in range(48))
+        )
+        after = parse_proc_stat(render_proc_stat(HASWELL, util, duration))
+        recovered = utilizations_between(zero, after)[1:]
+        # Jiffy quantization bounds the error by ~1/(duration·HZ).
+        tol = max(0.02, 2.0 / duration)
+        for got, expected in zip(recovered, util.per_cpu):
+            assert got == pytest.approx(expected, abs=tol)
+
+
+class TestCanvasNeverCrashes:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=-1e6, max_value=1e6),
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scatter_plot_total(self, raw):
+        from repro.analysis.asciiplot import Series, scatter_plot
+
+        out = scatter_plot(
+            [Series("s", [x for x, _ in raw], [y for _, y in raw])]
+        )
+        # Canvas integrity: fixed row count, all plot rows same width.
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(rows) == 20
+        assert len({len(r) for r in rows}) <= 2  # trailing spaces kept
+
+    @given(
+        st.lists(
+            st.lists(
+                st.text(alphabet="abc-", min_size=1, max_size=8),
+                min_size=2,
+                max_size=2,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_format_table_alignment_total(self, rows):
+        from repro.analysis.report import format_table
+
+        out = format_table(["col1", "col2"], rows)
+        lines = out.splitlines()
+        assert len(lines) == 2 + len(rows)

@@ -1,0 +1,154 @@
+"""Tests for roofline diagnostics, measured sweeps, and model validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.measured import measured_gpu_sweep
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core.pareto import pareto_front
+from repro.energymodel.events import ApplicationProfile
+from repro.energymodel.validation import kfold_validation, loocv
+from repro.machines import K40C, P100
+from repro.measurement.runner import ExperimentRunner
+from repro.measurement.session import MeasurementSession
+from repro.simgpu.roofline import classify_matmul
+
+
+class TestRoofline:
+    def test_large_tiles_issue_bound(self):
+        """The band the paper's fronts live in is issue-bound — BS=32
+        wins by shedding shared-memory replays, not bandwidth."""
+        for bs in (16, 24, 32):
+            assert classify_matmul(P100, 10240, bs).bound == "issue"
+
+    def test_tiny_tiles_memory_side(self):
+        for bs in (2, 4, 8):
+            assert classify_matmul(P100, 10240, bs).bound in (
+                "latency", "bandwidth",
+            )
+
+    def test_arithmetic_intensity_formula(self):
+        p = classify_matmul(P100, 4096, 32)
+        # AI grows ~linearly with BS (traffic ∝ 1/BS).
+        p8 = classify_matmul(P100, 4096, 8)
+        assert p.arithmetic_intensity > 3 * p8.arithmetic_intensity
+
+    def test_ridge_point_from_spec(self):
+        p = classify_matmul(K40C, 4096, 16)
+        assert p.ridge_intensity == pytest.approx(
+            K40C.peak_dp_flops / K40C.mem_bandwidth_bps
+        )
+
+    def test_classical_verdict_exposed(self):
+        p = classify_matmul(P100, 10240, 32)
+        assert p.classically_compute_bound == (
+            p.arithmetic_intensity >= p.ridge_intensity
+        )
+
+
+class TestMeasuredSweep:
+    def test_agrees_with_model_truth(self, tmp_path):
+        app = MatmulGPUApp(P100, bs_range=(20, 32))
+        session = MeasurementSession(
+            tmp_path / "s.jsonl", ExperimentRunner(precision=0.02)
+        )
+        n = 6144
+        measured = measured_gpu_sweep(app, n, session, seed=1, min_bs=20)
+        truth = app.sweep_points(n, min_bs=20)
+        assert len(measured) == len(truth)
+        truth_by_key = {
+            (p.config["bs"], p.config["g"], p.config["r"]): p for p in truth
+        }
+        for m in measured:
+            t = truth_by_key[(m.config["bs"], m.config["g"], m.config["r"])]
+            assert m.time_s == pytest.approx(t.time_s, rel=0.03)
+            assert m.energy_j == pytest.approx(t.energy_j, rel=0.05)
+
+    def test_front_structure_survives_measurement(self, tmp_path):
+        app = MatmulGPUApp(P100, bs_range=(20, 32))
+        session = MeasurementSession(
+            tmp_path / "s.jsonl", ExperimentRunner(precision=0.02)
+        )
+        measured = measured_gpu_sweep(app, 6144, session, seed=2, min_bs=20)
+        truth_front = {
+            (p.config["bs"], p.config["g"])
+            for p in pareto_front(app.sweep_points(6144, min_bs=20))
+        }
+        measured_front = {
+            (p.config["bs"], p.config["g"])
+            for p in pareto_front(measured)
+        }
+        assert len(truth_front.symmetric_difference(measured_front)) <= 2
+
+    def test_resume_skips_work(self, tmp_path):
+        app = MatmulGPUApp(K40C, bs_range=(30, 32))
+        path = tmp_path / "s.jsonl"
+        runner = ExperimentRunner(precision=0.03)
+        first = measured_gpu_sweep(
+            app, 4096, MeasurementSession(path, runner), seed=3, min_bs=30
+        )
+        session2 = MeasurementSession(path, runner)
+        before = len(session2)
+        second = measured_gpu_sweep(app, 4096, session2, seed=3, min_bs=30)
+        assert len(session2) == before  # nothing re-measured
+        assert len(second) == len(first)
+
+    def test_validation(self, tmp_path):
+        app = MatmulGPUApp(P100)
+        session = MeasurementSession(tmp_path / "s.jsonl")
+        with pytest.raises(ValueError):
+            measured_gpu_sweep(app, 4096, session, node_idle_w=-1.0)
+
+
+def _profiles(rng, n, noise=0.02):
+    out = []
+    for i in range(n):
+        a = float(rng.uniform(1e10, 1e12))
+        b = float(rng.uniform(1e8, 1e10))
+        e = (20e-12 * a + 90e-12 * b) * (1 + noise * rng.standard_normal())
+        out.append(ApplicationProfile(f"p{i}", {"a": a, "b": b}, e, 1.0))
+    return out
+
+
+class TestValidation:
+    def test_loocv_on_clean_data(self):
+        rng = np.random.default_rng(0)
+        result = loocv(_profiles(rng, 12, noise=0.0), ["a", "b"])
+        assert result.n_folds == 12
+        assert result.max_error < 1e-6
+
+    def test_loocv_error_tracks_noise(self):
+        rng = np.random.default_rng(1)
+        quiet = loocv(_profiles(rng, 20, noise=0.01), ["a", "b"])
+        loud = loocv(_profiles(rng, 20, noise=0.10), ["a", "b"])
+        assert loud.mean_error > quiet.mean_error
+
+    def test_loocv_needs_enough_profiles(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            loocv(_profiles(rng, 2), ["a", "b"])
+
+    def test_kfold_covers_every_profile(self):
+        rng = np.random.default_rng(3)
+        result = kfold_validation(_profiles(rng, 15), ["a", "b"], k=5)
+        assert len(result.errors) == 15
+        assert result.n_folds == 5
+
+    def test_kfold_deterministic_per_seed(self):
+        rng = np.random.default_rng(4)
+        profiles = _profiles(rng, 12)
+        a = kfold_validation(profiles, ["a", "b"], k=4, seed=7)
+        b = kfold_validation(profiles, ["a", "b"], k=4, seed=7)
+        assert a.errors == b.errors
+
+    def test_kfold_k_validated(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            kfold_validation(_profiles(rng, 10), ["a", "b"], k=1)
+
+    def test_kfold_underdetermined_fold_rejected(self):
+        rng = np.random.default_rng(6)
+        with pytest.raises(ValueError, match="underdetermined"):
+            kfold_validation(_profiles(rng, 4), ["a", "b", "c", "d"], k=2)

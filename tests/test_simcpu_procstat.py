@@ -1,0 +1,101 @@
+"""Tests for the /proc/stat emulation and parser."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import HASWELL
+from repro.simcpu.procstat import (
+    parse_proc_stat,
+    render_proc_stat,
+    utilizations_between,
+)
+from repro.simcpu.topology import place_threads
+from repro.simcpu.utilization import utilization_vector
+
+
+def make_util(n_threads=24, jitter=None):
+    placement = place_threads(HASWELL, n_threads)
+    j = np.zeros(n_threads) if jitter is None else jitter
+    return utilization_vector(HASWELL, placement, j, os_noise=0.0)
+
+
+class TestRender:
+    def test_line_count_is_49_plus_extras(self):
+        text = render_proc_stat(HASWELL, make_util(), 100.0)
+        cpu_lines = [l for l in text.splitlines() if l.startswith("cpu")]
+        assert len(cpu_lines) == 49  # aggregate + 48 cores
+
+    def test_aggregate_sums_cores(self):
+        text = render_proc_stat(HASWELL, make_util(), 100.0)
+        snap = parse_proc_stat(text)
+        assert snap.busy[0] == sum(snap.busy[1:])
+        assert snap.idle[0] == sum(snap.idle[1:])
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError):
+            render_proc_stat(HASWELL, make_util(), 0.0)
+
+
+class TestParse:
+    def test_rejects_missing_aggregate(self):
+        with pytest.raises(ValueError):
+            parse_proc_stat("cpu0 1 2 3 4 5 6 7 8 9 10\n")
+
+    def test_rejects_malformed_line(self):
+        with pytest.raises(ValueError):
+            parse_proc_stat("cpu 1 2\n")
+
+    def test_ignores_non_cpu_lines(self):
+        text = render_proc_stat(HASWELL, make_util(), 50.0)
+        snap = parse_proc_stat(text + "extra garbage\n")
+        assert len(snap.labels) == 49
+
+
+class TestRoundTrip:
+    def test_recovers_utilizations(self):
+        """The full pipeline a measurement script runs: snapshot,
+        run the app, snapshot, diff."""
+        util = make_util(24)
+        t0_zero = parse_proc_stat(
+            "cpu  0 0 0 0 0 0 0 0 0 0\n"
+            + "".join(
+                f"cpu{i} 0 0 0 0 0 0 0 0 0 0\n" for i in range(48)
+            )
+        )
+        after = parse_proc_stat(render_proc_stat(HASWELL, util, 1000.0))
+        utils = utilizations_between(t0_zero, after)
+        # Drop the aggregate line; compare per-core.
+        recovered = utils[1:]
+        for i, expected in enumerate(util.per_cpu):
+            assert recovered[i] == pytest.approx(expected, abs=0.01)
+
+    def test_average_matches_vector(self):
+        util = make_util(24)
+        zero = parse_proc_stat(
+            "cpu  0 0 0 0 0 0 0 0 0 0\n"
+            + "".join(f"cpu{i} 0 0 0 0 0 0 0 0 0 0\n" for i in range(48))
+        )
+        after = parse_proc_stat(render_proc_stat(HASWELL, util, 500.0))
+        agg = utilizations_between(zero, after)[0]
+        assert agg == pytest.approx(util.average, abs=0.01)
+
+    def test_swapped_snapshots_detected(self):
+        util = make_util(4)
+        zero = parse_proc_stat(
+            "cpu  0 0 0 0 0 0 0 0 0 0\n"
+            + "".join(f"cpu{i} 0 0 0 0 0 0 0 0 0 0\n" for i in range(48))
+        )
+        after = parse_proc_stat(render_proc_stat(HASWELL, util, 100.0))
+        with pytest.raises(ValueError, match="backwards"):
+            utilizations_between(after, zero)
+
+    def test_mismatched_machines_detected(self):
+        util = make_util(4)
+        a = parse_proc_stat(render_proc_stat(HASWELL, util, 10.0))
+        b = parse_proc_stat(
+            "cpu  1 0 0 1 0 0 0 0 0 0\ncpu0 1 0 0 1 0 0 0 0 0 0\n"
+        )
+        with pytest.raises(ValueError, match="different machines"):
+            utilizations_between(a, b)

@@ -1,0 +1,76 @@
+"""Tests for CPU topology and thread placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import HASWELL
+from repro.simcpu.topology import enumerate_topology, place_threads
+
+
+class TestTopology:
+    def test_logical_cpu_count(self):
+        topo = enumerate_topology(HASWELL)
+        assert len(topo) == 48
+        assert len({c.index for c in topo}) == 48
+
+    def test_sibling_numbering(self):
+        # Linux convention: cpu0 and cpu24 are hyperthreads of core 0.
+        topo = {c.index: c for c in enumerate_topology(HASWELL)}
+        assert topo[0].physical_core == topo[24].physical_core
+        assert topo[0].hyperthread == 0
+        assert topo[24].hyperthread == 1
+
+    def test_socket_assignment(self):
+        topo = {c.index: c for c in enumerate_topology(HASWELL)}
+        assert topo[0].socket == 0
+        assert topo[12].socket == 1
+
+
+class TestPlacement:
+    def test_one_thread(self):
+        p = place_threads(HASWELL, 1)
+        assert p.n_threads == 1
+        assert p.active_physical_cores == 1
+        assert p.smt_cores == 0
+
+    def test_two_threads_spread_across_sockets(self):
+        p = place_threads(HASWELL, 2)
+        assert p.active_sockets == 2
+        assert p.active_physical_cores == 2
+
+    def test_24_threads_fill_physical_cores_first(self):
+        p = place_threads(HASWELL, 24)
+        assert p.active_physical_cores == 24
+        assert p.smt_cores == 0
+
+    def test_25th_thread_starts_smt(self):
+        p = place_threads(HASWELL, 25)
+        assert p.active_physical_cores == 24
+        assert p.smt_cores == 1
+
+    def test_48_threads_saturate(self):
+        p = place_threads(HASWELL, 48)
+        assert p.active_physical_cores == 24
+        assert p.smt_cores == 24
+        assert p.active_sockets == 2
+
+    def test_distinct_logical_cpus(self):
+        p = place_threads(HASWELL, 37)
+        assert len({c.index for c in p.cpus}) == 37
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ValueError):
+            place_threads(HASWELL, 49)
+
+    def test_zero_threads_rejected(self):
+        with pytest.raises(ValueError):
+            place_threads(HASWELL, 0)
+
+    def test_balanced_socket_split_even_counts(self):
+        for n in (2, 4, 8, 12, 24):
+            p = place_threads(HASWELL, n)
+            per_socket = [0, 0]
+            for c in p.cpus:
+                per_socket[c.socket] += 1
+            assert abs(per_socket[0] - per_socket[1]) <= 1

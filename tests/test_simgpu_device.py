@@ -1,0 +1,118 @@
+"""Tests for the GPU device facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machines import K40C, P100
+from repro.simgpu.device import GPUDevice
+
+
+class TestTimingShape:
+    def test_time_improves_with_tile_size(self, p100: GPUDevice):
+        times = [p100.run_matmul(4096, bs).time_s for bs in (4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_k40c_slower_than_p100(self, k40c: GPUDevice, p100: GPUDevice):
+        tk = k40c.run_matmul(8192, 32).time_s
+        tp = p100.run_matmul(8192, 32).time_s
+        assert tk > 2.0 * tp
+
+    def test_time_scales_roughly_cubically(self, p100: GPUDevice):
+        t1 = p100.run_matmul(4096, 32).time_s
+        t2 = p100.run_matmul(8192, 32).time_s
+        assert t2 / t1 == pytest.approx(8.0, rel=0.3)
+
+    def test_r_launches_scale_linearly(self, p100: GPUDevice):
+        t1 = p100.run_matmul(4096, 32, r=1).time_s
+        t8 = p100.run_matmul(4096, 32, r=8).time_s
+        assert t8 == pytest.approx(8 * t1, rel=0.02)
+
+    def test_realistic_gflops(self, k40c: GPUDevice, p100: GPUDevice):
+        rk = k40c.run_matmul(10240, 32)
+        rp = p100.run_matmul(10240, 32)
+        assert 150 < k40c.performance_gflops(rk) < 600
+        assert 800 < p100.performance_gflops(rp) < 2500
+
+
+class TestEnergyAccounting:
+    @pytest.mark.parametrize("spec_fixture", ["k40c", "p100"])
+    def test_energy_is_power_times_time(self, spec_fixture, request):
+        dev = request.getfixturevalue(spec_fixture)
+        r = dev.run_matmul(6144, 24, g=2, r=3)
+        assert r.dynamic_energy_j == pytest.approx(
+            r.dynamic_power_w * r.time_s
+        )
+
+    def test_power_within_board_envelope(self, k40c: GPUDevice, p100: GPUDevice):
+        for dev, spec in ((k40c, K40C), (p100, P100)):
+            for bs in (8, 16, 24, 32):
+                r = dev.run_matmul(10240, bs)
+                assert 0 < r.dynamic_power_w < 1.4 * spec.tdp_w
+
+    def test_k40c_never_throttles(self, k40c: GPUDevice):
+        for bs in (8, 16, 32):
+            assert not k40c.run_matmul(10240, bs).throttled
+            assert k40c.run_matmul(10240, bs).clock_hz == K40C.base_clock_hz
+
+    def test_p100_hot_config_throttles_when_soaked(self, p100: GPUDevice):
+        # Long kernel (large N, many launches) at full occupancy.
+        r = p100.run_matmul(14336, 32, g=1, r=24)
+        assert r.throttled
+        assert r.clock_hz < P100.boost_clock_hz
+
+    def test_p100_short_kernel_stays_boosted(self, p100: GPUDevice):
+        # One short launch: thermal inertia keeps the boost clock.
+        r = p100.run_matmul(4096, 32, g=1, r=1)
+        assert r.clock_hz > 0.97 * P100.boost_clock_hz
+
+
+class TestFixedClock:
+    def test_pins_base_clock(self, p100: GPUDevice):
+        r = p100.run_matmul(14336, 32, r=24, fixed_clock=True)
+        assert r.clock_hz == P100.base_clock_hz
+        assert not r.throttled
+
+    def test_fixed_clock_changes_time(self, p100: GPUDevice):
+        free = p100.run_matmul(4096, 24, r=1)
+        pinned = p100.run_matmul(4096, 24, r=1, fixed_clock=True)
+        # Boost clock beats base clock for a cool config.
+        assert pinned.time_s > free.time_s
+
+
+class TestNoise:
+    def test_deterministic_without_rng(self, p100: GPUDevice):
+        a = p100.run_matmul(4096, 16)
+        b = p100.run_matmul(4096, 16)
+        assert a.time_s == b.time_s
+        assert a.dynamic_energy_j == b.dynamic_energy_j
+
+    def test_rng_jitter_reproducible(self, p100: GPUDevice):
+        a = p100.run_matmul(4096, 16, rng=np.random.default_rng(9))
+        b = p100.run_matmul(4096, 16, rng=np.random.default_rng(9))
+        assert a.time_s == b.time_s
+
+    def test_jitter_magnitude(self, p100: GPUDevice):
+        rng = np.random.default_rng(10)
+        base = p100.run_matmul(4096, 16).time_s
+        times = np.array(
+            [p100.run_matmul(4096, 16, rng=rng).time_s for _ in range(200)]
+        )
+        rel = times.std() / base
+        assert rel == pytest.approx(p100.cal.time_jitter, rel=0.3)
+
+
+class TestValidation:
+    def test_invalid_r(self, p100: GPUDevice):
+        with pytest.raises(ValueError):
+            p100.run_matmul(1024, 32, r=0)
+
+    def test_invalid_g_for_bs(self, p100: GPUDevice):
+        with pytest.raises(ValueError):
+            p100.run_matmul(1024, 32, g=5)
+
+    def test_occupancy_in_result(self, p100: GPUDevice):
+        r = p100.run_matmul(2048, 26)
+        assert r.occupancy.limiter == "warps"
+        assert r.occupancy.blocks_per_sm == 2

@@ -1,0 +1,163 @@
+"""Tests for the GPU power model and the DVFS solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machines import K40C, P100
+from repro.simgpu.calibration import calibration_for
+from repro.simgpu.dvfs import MIN_CLOCK_FRACTION, solve_operating_clock
+from repro.simgpu.power import aux_decay, kernel_power
+
+
+class TestAuxDecay:
+    def test_full_strength_small_n(self):
+        assert aux_decay(P100, 1024) == pytest.approx(1.0, abs=0.01)
+
+    def test_zero_at_threshold(self):
+        assert aux_decay(P100, P100.additivity_threshold_n) == 0.0
+        assert aux_decay(K40C, K40C.additivity_threshold_n) == 0.0
+
+    def test_zero_beyond_threshold(self):
+        assert aux_decay(P100, 20000) == 0.0
+
+    def test_monotone_decreasing(self):
+        values = [aux_decay(P100, n) for n in range(1024, 16384, 512)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_device_thresholds_differ(self):
+        # At N=12288: past the K40c threshold, inside the P100's.
+        assert aux_decay(K40C, 12288) == 0.0
+        assert aux_decay(P100, 12288) > 0.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            aux_decay(P100, 0)
+
+
+def make_power(spec, **overrides):
+    cal = calibration_for(spec)
+    kwargs = dict(
+        lane_rate_per_s=5e11,
+        dram_bytes_per_s=2e11,
+        occupancy=1.0,
+        n=8192,
+        g=1,
+        product_time_s=1.0,
+        active_time_s=1.0,
+        clock_hz=spec.base_clock_hz,
+    )
+    kwargs.update(overrides)
+    return kernel_power(spec, cal, **kwargs)
+
+
+class TestKernelPower:
+    def test_components_sum(self):
+        p = make_power(P100)
+        assert p.dynamic_w == pytest.approx(
+            p.compute_w + p.dram_w + p.activity_w + p.aux_w + p.leakage_w
+        )
+
+    def test_compute_scales_with_lane_rate(self):
+        lo = make_power(P100, lane_rate_per_s=1e11)
+        hi = make_power(P100, lane_rate_per_s=2e11)
+        assert hi.compute_w == pytest.approx(2 * lo.compute_w)
+
+    def test_aux_zero_for_g1(self):
+        assert make_power(P100, g=1).aux_w == 0.0
+
+    def test_aux_window_accounting(self):
+        spec = P100
+        cal = calibration_for(spec)
+        p = make_power(
+            spec, g=4, n=5120, product_time_s=1.0, active_time_s=4.0
+        )
+        expected = cal.aux_power_w * aux_decay(spec, 5120) * 3 * 1.0 / 4.0
+        assert p.aux_w == pytest.approx(expected)
+
+    def test_aux_vanishes_beyond_threshold(self):
+        p = make_power(P100, g=4, n=16000, active_time_s=4.0)
+        assert p.aux_w == 0.0
+
+    def test_activity_superlinear_on_p100(self):
+        # Pascal occ_exp > 1: half occupancy costs far less than half.
+        full = make_power(P100, occupancy=1.0).activity_w
+        half = make_power(P100, occupancy=0.5).activity_w
+        cal = calibration_for(P100)
+        assert half - cal.p_act0_w < 0.5 * (full - cal.p_act0_w)
+
+    def test_activity_linear_on_k40c(self):
+        cal = calibration_for(K40C)
+        full = make_power(K40C, occupancy=1.0).activity_w
+        half = make_power(K40C, occupancy=0.5).activity_w
+        assert full - half == pytest.approx(0.5 * cal.p_act1_w)
+
+    def test_leakage_superlinear(self):
+        lo = make_power(P100, lane_rate_per_s=1e11)
+        hi = make_power(P100, lane_rate_per_s=4e11)
+        ratio_electrical = (
+            (hi.compute_w + hi.dram_w + hi.activity_w)
+            / (lo.compute_w + lo.dram_w + lo.activity_w)
+        )
+        assert hi.leakage_w / lo.leakage_w == pytest.approx(
+            ratio_electrical**2, rel=1e-6
+        )
+
+    def test_clock_scaling_exponent(self):
+        spec = P100
+        cal = calibration_for(spec)
+        base = make_power(spec, clock_hz=spec.base_clock_hz)
+        boosted = make_power(spec, clock_hz=1.1 * spec.base_clock_hz)
+        assert boosted.activity_w / base.activity_w == pytest.approx(
+            1.1**cal.volt_exp
+        )
+        assert boosted.compute_w / base.compute_w == pytest.approx(
+            1.1 ** (cal.volt_exp - 1.0)
+        )
+        assert boosted.dram_w == pytest.approx(base.dram_w)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"occupancy": 0.0},
+            {"occupancy": 1.5},
+            {"product_time_s": 0.0},
+            {"active_time_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            make_power(P100, **kwargs)
+
+
+class TestDVFSSolver:
+    def test_no_autoboost_runs_at_base(self):
+        cal = calibration_for(K40C)
+        op = solve_operating_clock(K40C, cal, lambda f: 200.0)
+        assert op.clock_hz == K40C.base_clock_hz
+        assert not op.throttled
+
+    def test_cool_kernel_runs_at_boost(self):
+        cal = calibration_for(P100)
+        op = solve_operating_clock(P100, cal, lambda f: 150.0)
+        assert op.clock_hz == P100.boost_clock_hz
+        assert not op.throttled
+
+    def test_hot_kernel_lands_on_cap(self):
+        cal = calibration_for(P100)
+
+        def power(f):
+            return 400.0 * (f / P100.boost_clock_hz) ** 2.5
+
+        op = solve_operating_clock(P100, cal, power)
+        assert op.throttled
+        assert op.board_power_w == pytest.approx(cal.power_cap_w, abs=0.5)
+        assert op.clock_hz < P100.boost_clock_hz
+
+    def test_pathological_kernel_clamped_to_floor(self):
+        cal = calibration_for(P100)
+        op = solve_operating_clock(P100, cal, lambda f: 1000.0)
+        assert op.throttled
+        assert op.clock_hz == pytest.approx(
+            MIN_CLOCK_FRACTION * P100.base_clock_hz
+        )

@@ -1,0 +1,135 @@
+"""Tests for wave diagnostics, front-quality indicators, and Sen-Wood."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.front_quality import additive_epsilon, igd
+from repro.core.metrics import sen_wood_gap
+from repro.core.pareto import ParetoPoint, pareto_front
+from repro.machines import K40C, P100
+from repro.simgpu.occupancy import compute_occupancy
+from repro.simgpu.waves import analyze_waves
+
+
+def P(t, e):
+    return ParetoPoint(t, e)
+
+
+class TestWaves:
+    def _occ(self, spec, bs, g=1):
+        return compute_occupancy(spec, bs * bs, g * 2 * bs * bs * 8)
+
+    def test_exact_division_no_tail(self):
+        occ = self._occ(P100, 32)  # c=2, 56 SMs -> 112 concurrent
+        wa = analyze_waves(P100, 112 * 10, occ)
+        assert wa.total_waves == 10
+        assert wa.tail_blocks == 0
+        assert wa.utilization == 1.0
+        assert wa.tail_fraction_of_time == 0.0
+
+    def test_tail_wave_counted(self):
+        occ = self._occ(P100, 32)
+        wa = analyze_waves(P100, 112 * 10 + 5, occ)
+        assert wa.total_waves == 11
+        assert wa.tail_blocks == 5
+        assert wa.full_waves == 10
+        assert wa.utilization < 1.0
+
+    def test_paper_scale_grids_have_negligible_tail(self):
+        """The argument the aggregate timing model rests on."""
+        for spec, n in ((K40C, 10240), (P100, 10240)):
+            occ = self._occ(spec, 32)
+            grid = (n // 32) ** 2
+            wa = analyze_waves(spec, grid, occ)
+            assert wa.tail_negligible
+            assert wa.total_waves > 100
+
+    def test_single_wave_small_grid(self):
+        occ = self._occ(P100, 32)
+        wa = analyze_waves(P100, 50, occ)
+        assert wa.total_waves == 1
+        assert not wa.tail_negligible  # everything is tail
+
+    def test_invalid_grid(self):
+        occ = self._occ(P100, 32)
+        with pytest.raises(ValueError):
+            analyze_waves(P100, 0, occ)
+
+
+class TestFrontQuality:
+    REF = [P(1.0, 3.0), P(2.0, 2.0), P(3.0, 1.0)]
+
+    def test_perfect_match_scores_zero(self):
+        assert igd(self.REF, self.REF) == 0.0
+        assert additive_epsilon(self.REF, self.REF) == 0.0
+
+    def test_subset_misses_points(self):
+        approx = [self.REF[0], self.REF[2]]
+        assert igd(self.REF, approx) > 0.0
+        assert additive_epsilon(self.REF, approx) > 0.0
+
+    def test_dominating_approximation_epsilon_zero(self):
+        better = [P(0.9, 2.9), P(1.9, 1.9), P(2.9, 0.9)]
+        assert additive_epsilon(self.REF, better) == 0.0
+
+    def test_epsilon_value_known_case(self):
+        # Approximation covers only the middle point; in normalized
+        # space (mins t=1, e=1) the worst reference point is (1, 3):
+        # best cover by (2, 2): eps = max(2-1, 2-3) = 1.0.
+        approx = [P(2.0, 2.0)]
+        assert additive_epsilon(self.REF, approx) == pytest.approx(1.0)
+
+    def test_igd_averages_distances(self):
+        approx = [P(1.0, 3.0)]
+        # Normalized ref: (1,3),(2,2),(3,1); distances to (1,3):
+        # 0, sqrt(1+1), sqrt(4+4) -> mean = (0+1.414+2.828)/3.
+        assert igd(self.REF, approx) == pytest.approx(
+            (0.0 + np.sqrt(2.0) + np.sqrt(8.0)) / 3.0
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            igd([], self.REF)
+        with pytest.raises(ValueError):
+            additive_epsilon(self.REF, [])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=50.0),
+                st.floats(min_value=0.5, max_value=50.0),
+            ),
+            min_size=2,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40)
+    def test_front_of_superset_scores_zero(self, raw):
+        pts = [P(t, e) for t, e in raw]
+        ref = pareto_front(pts)
+        assert igd(ref, pts) == pytest.approx(0.0, abs=1e-12)
+        assert additive_epsilon(ref, pts) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestSenWoodGap:
+    U = np.linspace(0.0, 1.0, 21)
+
+    def test_proportional_scores_zero(self):
+        assert sen_wood_gap(self.U, 200.0 * self.U) == pytest.approx(0.0)
+
+    def test_flat_curve_scores_one(self):
+        assert sen_wood_gap(self.U, np.full(21, 200.0)) == pytest.approx(1.0)
+
+    def test_legacy_server_half(self):
+        # 50% idle power: the gap is largest at u=0 where P = 0.5 peak.
+        p = 100.0 + 100.0 * self.U
+        assert sen_wood_gap(self.U, p) == pytest.approx(0.5)
+
+    def test_localizes_worst_point(self):
+        # A mid-range bulge: gap peaks at the bulge, not at idle.
+        p = 200.0 * self.U + 60.0 * np.exp(-((self.U - 0.5) ** 2) / 0.01)
+        assert sen_wood_gap(self.U, p) == pytest.approx(0.3, abs=0.02)

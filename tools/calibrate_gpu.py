@@ -1,0 +1,55 @@
+"""Calibration harness for the GPU simulators.
+
+Prints the shape statistics DESIGN.md's acceptance criteria reference,
+for the current constants in ``repro.simgpu.calibration``:
+
+* global/local Pareto front sizes per (device, N),
+* max energy saving and its performance degradation,
+* dynamic-power range across the configuration sweep.
+
+Run after editing calibration constants:
+
+    python tools/calibrate_gpu.py
+"""
+
+from __future__ import annotations
+
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.core import (
+    local_pareto_front,
+    max_energy_saving,
+    pareto_front,
+    tradeoff_table,
+)
+from repro.machines import K40C, P100
+
+
+def describe(spec, n_values, t_products=24):
+    app = MatmulGPUApp(spec, total_products=t_products)
+    print(f"\n===== {spec.name} =====")
+    for n in n_values:
+        points = app.sweep_points(n)
+        front = pareto_front(points)
+        entry = max_energy_saving(points)
+        local = local_pareto_front(points, lambda p: p.config["bs"] <= 31)
+        local_entry = max_energy_saving([p for p in points if p.config["bs"] <= 31])
+        powers = [p.energy_j / p.time_s for p in points]
+        fastest = min(points, key=lambda p: p.time_s)
+        print(
+            f"N={n}: {len(points)} cfgs | global front {len(front)} pts "
+            f"(max save {entry.energy_saving:.1%} @ {entry.perf_degradation:.1%}) | "
+            f"local(BS<=31) {len(local)} pts "
+            f"(save {local_entry.energy_saving:.1%} @ {local_entry.perf_degradation:.1%}) | "
+            f"Pdyn {min(powers):.0f}-{max(powers):.0f} W | "
+            f"fastest cfg {fastest.config}"
+        )
+        for p in front:
+            print(
+                f"    front: {p.config}  t={p.time_s:.2f}s E={p.energy_j:.0f}J "
+                f"P={p.energy_j/p.time_s:.0f}W"
+            )
+
+
+if __name__ == "__main__":
+    describe(K40C, [8704, 10240])
+    describe(P100, [10240, 14336, 18432])

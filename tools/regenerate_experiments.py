@@ -1,0 +1,80 @@
+"""Regenerate the measured numbers quoted in EXPERIMENTS.md.
+
+EXPERIMENTS.md quotes specific measured values; after any calibration
+change, run this script and diff its output against the document to
+find stale numbers.  (The bench suite regenerates the full artifacts;
+this prints just the quoted scalars, in document order.)
+
+    python tools/regenerate_experiments.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig1_strong_ep,
+    fig2_p100_n18432,
+    fig4_cpu_utilization,
+    fig6_additivity,
+    fig7_k40c_pareto,
+    fig8_p100_pareto,
+    headline,
+)
+from repro.machines import K40C, P100
+
+
+def pct(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def main() -> None:
+    print("== Fig. 1 ==")
+    for s in fig1_strong_ep.run().studies:
+        print(
+            f"{s.device}: max deviation {pct(s.result.max_relative_deviation)}, "
+            f"R² {s.result.r_squared:.3f}"
+        )
+
+    print("\n== Fig. 2 ==")
+    f2 = fig2_p100_n18432.run()
+    print(f"global front {len(f2.global_front)}; "
+          f"saving {pct(f2.global_headline.energy_saving)} @ "
+          f"{pct(f2.global_headline.perf_degradation)}; "
+          f"low-BS rank corr {f2.low_bs_rank_correlation:.2f}")
+
+    print("\n== Fig. 4 ==")
+    for s in fig4_cpu_utilization.run().series:
+        print(f"{s.library}: plateau {s.plateau_gflops:.0f} GF, "
+              f"ramp R² {s.ramp_r_squared:.4f}, "
+              f"{s.n_witness_pairs} witness pairs, "
+              f"max gap {s.max_power_gap_w:.0f} W, "
+              f"nonfunctionality {s.nonfunctionality_ratio:.1f}x")
+
+    print("\n== Fig. 6 ==")
+    for spec in (P100, K40C):
+        r = fig6_additivity.run(spec)
+        print(f"{spec.name}: err@5120 {pct(r.max_energy_error(5120))}, "
+              f"err@threshold {pct(r.max_energy_error(r.threshold_n))}")
+
+    print("\n== Fig. 7 ==")
+    for s in fig7_k40c_pareto.run().studies:
+        print(f"N={s.workload}: global {len(s.front)}, "
+              f"local {len(s.local_front)}, "
+              f"local saving {pct(s.local_headline.energy_saving)} @ "
+              f"{pct(s.local_headline.perf_degradation)}")
+
+    print("\n== Fig. 8 ==")
+    for s in fig8_p100_pareto.run().studies:
+        print(f"N={s.workload}: global {len(s.front)}, "
+              f"saving {pct(s.headline.energy_saving)} @ "
+              f"{pct(s.headline.perf_degradation)}")
+
+    print("\n== Headline ==")
+    for d in headline.run().devices:
+        print(f"{d.device}: global {d.global_front_avg:.1f}/{d.global_front_max}, "
+              f"local {d.local_front_avg:.1f}/{d.local_front_max}, "
+              f"max saving {pct(d.max_saving)} @ "
+              f"{pct(d.max_saving_degradation)}")
+
+
+if __name__ == "__main__":
+    main()
