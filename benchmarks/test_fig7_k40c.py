@@ -1,30 +1,10 @@
 """Bench F7: regenerate Fig. 7 (K40c nonproportionality, local fronts)."""
 
-from repro.analysis.report import format_pct, paper_vs_measured
+from repro.analysis.goldens import render_fig7_snapshot
 from repro.experiments import fig7_k40c_pareto
 
 
 def test_fig7_k40c_pareto(benchmark, emit):
     result = benchmark(fig7_k40c_pareto.run)
-    rows = []
-    for s in result.studies:
-        rows.append(
-            (f"N={s.workload}: global front size", 1, len(s.front))
-        )
-        rows.append(
-            (
-                f"N={s.workload}: local front size",
-                "4-5 (avg/max over range)",
-                len(s.local_front),
-            )
-        )
-        rows.append(
-            (
-                f"N={s.workload}: local saving @ degradation",
-                "up to 18% @ 7%",
-                f"{format_pct(s.local_headline.energy_saving)} @ "
-                f"{format_pct(s.local_headline.perf_degradation)}",
-            )
-        )
-    emit("fig7_k40c_pareto", paper_vs_measured(rows) + "\n\n" + result.render())
+    emit("fig7_k40c_pareto", render_fig7_snapshot(result))
     assert all(len(s.front) == 1 for s in result.studies)

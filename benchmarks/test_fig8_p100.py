@@ -1,23 +1,10 @@
 """Bench F8: regenerate Fig. 8 (P100 nonproportionality, global fronts)."""
 
-from repro.analysis.report import format_pct, paper_vs_measured
+from repro.analysis.goldens import render_fig8_snapshot
 from repro.experiments import fig8_p100_pareto
 
 
 def test_fig8_p100_pareto(benchmark, emit):
     result = benchmark(fig8_p100_pareto.run)
-    rows = []
-    for s in result.studies:
-        rows.append(
-            (f"N={s.workload}: global front size", "2-3", len(s.front))
-        )
-        rows.append(
-            (
-                f"N={s.workload}: max saving @ degradation",
-                "up to 50% @ 11% (N=10240)",
-                f"{format_pct(s.headline.energy_saving)} @ "
-                f"{format_pct(s.headline.perf_degradation)}",
-            )
-        )
-    emit("fig8_p100_pareto", paper_vs_measured(rows) + "\n\n" + result.render())
+    emit("fig8_p100_pareto", render_fig8_snapshot(result))
     assert all(len(s.front) >= 2 for s in result.studies)

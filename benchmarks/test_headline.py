@@ -1,32 +1,14 @@
 """Bench H: the abstract's headline statistics over the workload range."""
 
-from repro.analysis.report import format_pct, paper_vs_measured
+from repro.analysis.goldens import render_headline_snapshot
 from repro.experiments import headline
 
 
 def test_headline(benchmark, emit):
     result = benchmark(headline.run)
+    emit("headline", render_headline_snapshot(result))
     by_name = {
         ("K40c" if "K40c" in d.device else "P100"): d for d in result.devices
     }
-    k40c, p100 = by_name["K40c"], by_name["P100"]
-    comparison = paper_vs_measured(
-        [
-            ("K40c global front", "1 point (BS=32)",
-             f"{k40c.global_front_avg:.1f} avg / {k40c.global_front_max} max"
-             + (", BS=32" if k40c.global_bs_always_32 else "")),
-            ("K40c local fronts avg/max", "4 / 5",
-             f"{k40c.local_front_avg:.1f} / {k40c.local_front_max}"),
-            ("K40c max saving @ degradation", "18% @ 7%",
-             f"{format_pct(k40c.max_saving)} @ "
-             f"{format_pct(k40c.max_saving_degradation)}"),
-            ("P100 global fronts avg/max", "2 / 3",
-             f"{p100.global_front_avg:.1f} / {p100.global_front_max}"),
-            ("P100 max saving @ degradation", "50% @ 11%",
-             f"{format_pct(p100.max_saving)} @ "
-             f"{format_pct(p100.max_saving_degradation)}"),
-        ]
-    )
-    emit("headline", comparison + "\n\n" + result.render())
-    assert k40c.global_front_max == 1
-    assert p100.global_front_max >= 2
+    assert by_name["K40c"].global_front_max == 1
+    assert by_name["P100"].global_front_max >= 2

@@ -1,0 +1,96 @@
+"""Shared renderers for the committed benchmark snapshots.
+
+The benchmark suite writes each artifact's paper-vs-measured text to
+``benchmarks/output/*.txt``; those files are committed as golden
+snapshots.  The golden regression tests re-render the same artifacts
+and diff against the snapshots so *any* drift of the model output —
+an accidental calibration nudge, a simulator change without a
+:data:`repro.sweep.keys.MODEL_VERSION` bump — fails loudly.
+
+Keeping the renderers here, used by both the benchmarks and the
+regression tests, guarantees the two can never diverge silently in
+formatting alone.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_pct, paper_vs_measured
+from repro.experiments.fig7_k40c_pareto import Fig7Result
+from repro.experiments.fig8_p100_pareto import Fig8Result
+from repro.experiments.headline import HeadlineResult
+
+__all__ = [
+    "render_fig7_snapshot",
+    "render_fig8_snapshot",
+    "render_headline_snapshot",
+]
+
+
+def render_fig7_snapshot(result: Fig7Result) -> str:
+    """The exact text committed as ``fig7_k40c_pareto.txt``."""
+    rows = []
+    for s in result.studies:
+        rows.append(
+            (f"N={s.workload}: global front size", 1, len(s.front))
+        )
+        rows.append(
+            (
+                f"N={s.workload}: local front size",
+                "4-5 (avg/max over range)",
+                len(s.local_front),
+            )
+        )
+        rows.append(
+            (
+                f"N={s.workload}: local saving @ degradation",
+                "up to 18% @ 7%",
+                f"{format_pct(s.local_headline.energy_saving)} @ "
+                f"{format_pct(s.local_headline.perf_degradation)}",
+            )
+        )
+    return paper_vs_measured(rows) + "\n\n" + result.render()
+
+
+def render_fig8_snapshot(result: Fig8Result) -> str:
+    """The exact text committed as ``fig8_p100_pareto.txt``."""
+    rows = []
+    for s in result.studies:
+        rows.append(
+            (f"N={s.workload}: global front size", "2-3", len(s.front))
+        )
+        rows.append(
+            (
+                f"N={s.workload}: max saving @ degradation",
+                "up to 50% @ 11% (N=10240)",
+                f"{format_pct(s.headline.energy_saving)} @ "
+                f"{format_pct(s.headline.perf_degradation)}",
+            )
+        )
+    return paper_vs_measured(rows) + "\n\n" + result.render()
+
+
+def render_headline_snapshot(result: HeadlineResult) -> str:
+    """The exact text committed as ``headline.txt``."""
+    by_name = {
+        ("K40c" if "K40c" in d.device else "P100"): d
+        for d in result.devices
+    }
+    k40c, p100 = by_name["K40c"], by_name["P100"]
+    comparison = paper_vs_measured(
+        [
+            ("K40c global front", "1 point (BS=32)",
+             f"{k40c.global_front_avg:.1f} avg / {k40c.global_front_max} max"
+             + (", BS=32" if k40c.global_bs_always_32 else "")),
+            ("K40c local fronts avg/max", "4 / 5",
+             f"{k40c.local_front_avg:.1f} / {k40c.local_front_max}"),
+            ("K40c max saving @ degradation", "18% @ 7%",
+             f"{format_pct(k40c.max_saving)} @ "
+             f"{format_pct(k40c.max_saving_degradation)}"),
+            ("P100 global fronts avg/max", "2 / 3",
+             f"{p100.global_front_avg:.1f} / {p100.global_front_max}"),
+            ("P100 max saving @ degradation", "50% @ 11%",
+             f"{format_pct(p100.max_saving)} @ "
+             f"{format_pct(p100.max_saving_degradation)}"),
+        ]
+    )
+    return comparison + "\n\n" + result.render()

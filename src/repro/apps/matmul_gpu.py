@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -34,6 +35,9 @@ from repro.machines.specs import GPUSpec
 from repro.simgpu.calibration import GPUCalibration
 from repro.simgpu.device import GPUDevice, KernelRunResult
 from repro.simgpu.kernel import max_group_size
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["MatmulConfig", "MatmulGPUApp", "divisors"]
 
@@ -144,6 +148,18 @@ class MatmulGPUApp:
             is_valid=valid,
         )
 
+    def sweep_configs(self, *, min_bs: int | None = None) -> list[MatmulConfig]:
+        """The sweep's configuration list, in the reference order.
+
+        Applies the sweep default floor (BS ≥ 4 — the paper's populated
+        region) when ``min_bs`` is None.  This single enumeration is
+        shared by the serial path and :class:`repro.sweep.SweepEngine`,
+        which is what makes their outputs comparable point-for-point.
+        """
+        if min_bs is None:
+            min_bs = max(self.min_bs, 4)
+        return list(self.valid_configs(min_bs=min_bs))
+
     # -- evaluation ---------------------------------------------------------
 
     def run(
@@ -177,15 +193,31 @@ class MatmulGPUApp:
         *,
         min_bs: int | None = None,
         rng: np.random.Generator | None = None,
+        engine: "SweepEngine | None" = None,
     ) -> list[ParetoPoint]:
         """Evaluate every valid configuration for matrix size N.
 
         This is the paper's exhaustive methodology; the resulting point
-        cloud is what Figs. 2, 7 and 8 plot.
+        cloud is what Figs. 2, 7 and 8 plot.  With ``engine`` given the
+        sweep runs through :class:`repro.sweep.SweepEngine` (parallel
+        fan-out and/or persistent caching); the engine path is
+        bit-identical to the in-process path.  Noise-injected sweeps
+        (``rng``) always run in-process — noise must not be cached.
         """
-        if min_bs is None:
-            min_bs = max(self.min_bs, 4)
+        if engine is not None and rng is None:
+            from repro.sweep.plan import SweepRequest
+
+            request = SweepRequest(
+                device=self.spec,
+                n=n,
+                total_products=self.total_products,
+                min_bs=min_bs,
+                cal=self.device.cal,
+            )
+            return engine.evaluate_configs(
+                request, self.sweep_configs(min_bs=min_bs)
+            )
         return [
             self.evaluate(n, cfg, rng=rng)
-            for cfg in self.valid_configs(min_bs=min_bs)
+            for cfg in self.sweep_configs(min_bs=min_bs)
         ]

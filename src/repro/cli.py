@@ -14,6 +14,11 @@ custom workload, without writing code:
   slowdown budget?" for a workload;
 * ``machines`` — list the platform registry;
 * ``report`` — run everything and write a single markdown report.
+
+The sweep-driven commands (``experiment``, ``sweep``) accept
+``--jobs`` (process-pool parallelism), ``--cache-dir`` and
+``--no-cache`` (the persistent sweep-point cache; see
+:mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -58,14 +63,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for sweep evaluation (default 1: serial)",
+        )
+        p.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help=(
+                "persistent sweep-point cache directory (default: "
+                "$REPRO_CACHE_DIR if set, else no cache)"
+            ),
+        )
+        p.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the sweep cache even if $REPRO_CACHE_DIR is set",
+        )
+
     exp = sub.add_parser(
         "experiment", help="regenerate one paper artifact"
     )
     exp.add_argument("id", choices=_EXPERIMENTS)
+    add_engine_flags(exp)
 
     sweep = sub.add_parser(
         "sweep", help="sweep a GPU matmul workload and print the front"
     )
+    add_engine_flags(sweep)
     sweep.add_argument("--device", choices=("k40c", "p100"), default="p100")
     sweep.add_argument("--n", type=int, default=10240, help="matrix size")
     sweep.add_argument(
@@ -111,7 +135,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_experiment(exp_id: str) -> str:
+def _build_engine(args: argparse.Namespace):
+    """Construct the SweepEngine the sweep-driven commands share.
+
+    Cache resolution: ``--no-cache`` wins, then ``--cache-dir``, then
+    the ``REPRO_CACHE_DIR`` environment variable, else no cache.
+    """
+    import os
+
+    from repro.sweep import SweepEngine
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be at least 1")
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    return SweepEngine(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def _run_experiment(exp_id: str, engine=None) -> str:
     from repro.experiments import (
         ablation,
         dvfs_comparison,
@@ -137,7 +179,7 @@ def _run_experiment(exp_id: str) -> str:
     if exp_id == "fig1":
         return fig1_strong_ep.run().render()
     if exp_id == "fig2":
-        return fig2_p100_n18432.run().render()
+        return fig2_p100_n18432.run(engine=engine).render()
     if exp_id == "fig3":
         return fig3_decomposition.run().render()
     if exp_id == "fig4":
@@ -150,11 +192,11 @@ def _run_experiment(exp_id: str) -> str:
             + "\n\nK40c:\n" + fig6_additivity.run(K40C).render()
         )
     if exp_id == "fig7":
-        return fig7_k40c_pareto.run().render()
+        return fig7_k40c_pareto.run(engine=engine).render()
     if exp_id == "fig8":
-        return fig8_p100_pareto.run().render()
+        return fig8_p100_pareto.run(engine=engine).render()
     if exp_id == "headline":
-        return headline.run().render()
+        return headline.run(engine=engine).render()
     if exp_id == "ablation":
         return ablation.run().render()
     if exp_id == "ep-metrics":
@@ -162,7 +204,7 @@ def _run_experiment(exp_id: str) -> str:
     if exp_id == "methods":
         return measurement_methods.run().render()
     if exp_id == "sensitivity":
-        return sensitivity.run().render()
+        return sensitivity.run(engine=engine).render()
     if exp_id == "dvfs":
         return dvfs_comparison.run().render()
     if exp_id == "dvfs-gpu":
@@ -170,7 +212,7 @@ def _run_experiment(exp_id: str) -> str:
     if exp_id == "budgeted-search":
         from repro.experiments import budgeted_search
 
-        return budgeted_search.run().render()
+        return budgeted_search.run(engine=engine).render()
     if exp_id == "energy-model":
         return gpu_energy_model.run().render()
     raise AssertionError(f"unhandled experiment {exp_id!r}")
@@ -184,13 +226,13 @@ def _get_gpu(name: str):
 
 def _run_sweep(
     device: str, n: int, products: int, all_points: bool,
-    save: str | None = None,
+    save: str | None = None, engine=None,
 ) -> str:
     from repro.apps.matmul_gpu import MatmulGPUApp
     from repro.core import pareto_front, tradeoff_table
 
     app = MatmulGPUApp(_get_gpu(device), total_products=products)
-    points = app.sweep_points(n)
+    points = app.sweep_points(n, engine=engine)
     out = [f"{len(points)} configurations, N={n}, T={products}\n"]
     if save is not None:
         from repro.io import SweepDocument, save_sweep
@@ -307,12 +349,12 @@ def _run_machines() -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiment":
-        print(_run_experiment(args.id))
+        print(_run_experiment(args.id, engine=_build_engine(args)))
     elif args.command == "sweep":
         print(
             _run_sweep(
                 args.device, args.n, args.products, args.all_points,
-                save=args.save,
+                save=args.save, engine=_build_engine(args),
             )
         )
     elif args.command == "front":

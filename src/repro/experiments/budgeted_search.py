@@ -15,13 +15,17 @@ Quality is scored with the standard indicators (IGD and the additive
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.front_quality import additive_epsilon, igd
 from repro.analysis.report import format_table
-from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.apps.matmul_gpu import MatmulConfig, MatmulGPUApp
 from repro.core.biobjective import greedy_front_search
 from repro.core.pareto import ParetoPoint, pareto_front
 from repro.machines.specs import GPUSpec, P100
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["BudgetRow", "BudgetedSearchResult", "run"]
 
@@ -69,8 +73,16 @@ def run(
     n: int = 10240,
     budget_fractions: tuple[float, ...] = (0.1, 0.2, 0.35, 0.5, 1.0),
     seed: int = 0,
+    *,
+    engine: "SweepEngine | None" = None,
 ) -> BudgetedSearchResult:
-    """Score the greedy search at several evaluation budgets."""
+    """Score the greedy search at several evaluation budgets.
+
+    With ``engine`` given, every point evaluation (the exhaustive sweep
+    and the greedy search's probes) is routed through the engine's
+    persistent cache; the in-run memo below still guarantees each
+    configuration is modelled at most once per run either way.
+    """
     app = MatmulGPUApp(spec)
     space = app.config_space()
     size = space.size()
@@ -80,8 +92,18 @@ def run(
     def evaluate(cfg) -> tuple[float, float]:
         key = (cfg["bs"], cfg["g"], cfg["r"])
         if key not in cache:
-            run_ = app.device.run_matmul(n, cfg["bs"], cfg["g"], cfg["r"])
-            cache[key] = (run_.time_s, run_.dynamic_energy_j)
+            if engine is not None:
+                point = engine.evaluate(
+                    spec, n,
+                    MatmulConfig(bs=cfg["bs"], g=cfg["g"], r=cfg["r"]),
+                    cal=app.device.cal,
+                )
+                cache[key] = (point.time_s, point.energy_j)
+            else:
+                run_ = app.device.run_matmul(
+                    n, cfg["bs"], cfg["g"], cfg["r"]
+                )
+                cache[key] = (run_.time_s, run_.dynamic_energy_j)
         return cache[key]
 
     exhaustive_pts = [

@@ -12,6 +12,7 @@ savings; restricting to BS ≤ 30 gives 24% savings at 8% degradation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -20,6 +21,9 @@ from repro.apps.matmul_gpu import MatmulGPUApp
 from repro.core.pareto import ParetoPoint, local_pareto_front, pareto_front
 from repro.core.tradeoff import TradeoffEntry, max_energy_saving
 from repro.machines.specs import P100
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["Fig2Result", "run", "monotone_fraction"]
 
@@ -120,10 +124,10 @@ class Fig2Result:
         )
 
 
-def run(n: int = N_PAPER) -> Fig2Result:
-    """Regenerate the Fig. 2 analysis."""
+def run(n: int = N_PAPER, *, engine: "SweepEngine | None" = None) -> Fig2Result:
+    """Regenerate the Fig. 2 analysis (optionally through a sweep engine)."""
     app = MatmulGPUApp(P100)
-    points = app.sweep_points(n)
+    points = app.sweep_points(n, engine=engine)
 
     low = [p for p in points if p.config["bs"] <= 20]
     bs30 = [p for p in points if p.config["bs"] <= 30]

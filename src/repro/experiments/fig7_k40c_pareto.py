@@ -18,12 +18,16 @@ a wider size range (:mod:`repro.experiments.headline`).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
 from repro.core.pareto import ParetoPoint
 from repro.machines.specs import K40C
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["Fig7Result", "run", "LOCAL_REGION_MAX_BS"]
 
@@ -72,12 +76,21 @@ class Fig7Result:
         )
 
 
-def run(sizes: tuple[int, ...] = PAPER_SIZES) -> Fig7Result:
-    """Regenerate the Fig. 7 analysis."""
+def run(
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    *,
+    engine: "SweepEngine | None" = None,
+) -> Fig7Result:
+    """Regenerate the Fig. 7 analysis.
+
+    ``engine`` routes the sweeps through a
+    :class:`repro.sweep.SweepEngine` (parallelism / caching); the
+    default is the in-process serial path.
+    """
     app = MatmulGPUApp(K40C)
     studies = []
     for n in sizes:
-        points = app.sweep_points(n)
+        points = app.sweep_points(n, engine=engine)
         studies.append(
             weak_ep_study("k40c", n, points, region=_local_region)
         )

@@ -20,11 +20,15 @@ near-equally-fast configurations).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
 from repro.machines.specs import P100
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["Fig8Result", "run", "PAPER_SIZES"]
 
@@ -73,11 +77,15 @@ class Fig8Result:
         return table + "\n" + "\n".join(detail)
 
 
-def run(sizes: tuple[int, ...] = PAPER_SIZES) -> Fig8Result:
-    """Regenerate the Fig. 8 analysis."""
+def run(
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    *,
+    engine: "SweepEngine | None" = None,
+) -> Fig8Result:
+    """Regenerate the Fig. 8 analysis (optionally through a sweep engine)."""
     app = MatmulGPUApp(P100)
     studies = []
     for n in sizes:
-        points = app.sweep_points(n)
+        points = app.sweep_points(n, engine=engine)
         studies.append(weak_ep_study("p100", n, points))
     return Fig8Result(studies=tuple(studies))

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
 from repro.core.pareto import local_pareto_front, pareto_front
 from repro.core.tradeoff import max_energy_saving
 from repro.machines.specs import GPUSpec, K40C, P100
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["DeviceHeadline", "HeadlineResult", "run", "DEFAULT_SIZES"]
 
@@ -83,7 +87,11 @@ class HeadlineResult:
         )
 
 
-def _analyze(spec: GPUSpec, sizes: tuple[int, ...]) -> DeviceHeadline:
+def _analyze(
+    spec: GPUSpec,
+    sizes: tuple[int, ...],
+    engine: "SweepEngine | None" = None,
+) -> DeviceHeadline:
     app = MatmulGPUApp(spec)
     global_sizes: list[int] = []
     local_sizes: list[int] = []
@@ -91,7 +99,7 @@ def _analyze(spec: GPUSpec, sizes: tuple[int, ...]) -> DeviceHeadline:
     best_deg = 0.0
     bs32_only = True
     for n in sizes:
-        points = app.sweep_points(n)
+        points = app.sweep_points(n, engine=engine)
         g_front = pareto_front(points)
         l_front = local_pareto_front(points, lambda p: p.config["bs"] <= 31)
         global_sizes.append(len(g_front))
@@ -124,14 +132,16 @@ def _analyze(spec: GPUSpec, sizes: tuple[int, ...]) -> DeviceHeadline:
 
 
 def run(
-    sizes: dict[str, tuple[int, ...]] | None = None
+    sizes: dict[str, tuple[int, ...]] | None = None,
+    *,
+    engine: "SweepEngine | None" = None,
 ) -> HeadlineResult:
     """Aggregate the headline statistics over the workload ranges."""
     if sizes is None:
         sizes = DEFAULT_SIZES
     return HeadlineResult(
         devices=(
-            _analyze(K40C, sizes["k40c"]),
-            _analyze(P100, sizes["p100"]),
+            _analyze(K40C, sizes["k40c"], engine),
+            _analyze(P100, sizes["p100"], engine),
         )
     )

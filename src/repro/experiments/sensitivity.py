@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.analysis.report import format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
@@ -26,6 +27,9 @@ from repro.core.pareto import pareto_front
 from repro.machines.specs import K40C, P100
 from repro.simcpu.calibration import HASWELL_CAL  # noqa: F401 (doc link)
 from repro.simgpu.calibration import K40C_CAL, P100_CAL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sweep.engine import SweepEngine
 
 __all__ = ["SensitivityRow", "SensitivityResult", "run", "PERTURBED_CONSTANTS"]
 
@@ -81,19 +85,26 @@ class SensitivityResult:
         return held / total
 
 
-def _k40c_verdict(cal, n) -> bool:
+def _k40c_verdict(cal, n, engine=None) -> bool:
     app = MatmulGPUApp(K40C, cal)
-    front = pareto_front(app.sweep_points(n))
+    front = pareto_front(app.sweep_points(n, engine=engine))
     return len(front) == 1 and front[0].config["bs"] == 32
 
 
-def _p100_verdict(cal, n) -> bool:
+def _p100_verdict(cal, n, engine=None) -> bool:
     app = MatmulGPUApp(P100, cal)
-    return len(pareto_front(app.sweep_points(n))) >= 2
+    return len(pareto_front(app.sweep_points(n, engine=engine))) >= 2
 
 
-def run(n: int = 10240) -> SensitivityResult:
-    """Perturb each constant ±20% and re-check the structural verdicts."""
+def run(
+    n: int = 10240, *, engine: "SweepEngine | None" = None
+) -> SensitivityResult:
+    """Perturb each constant ±20% and re-check the structural verdicts.
+
+    The perturbed calibrations flow into the sweep-cache key, so an
+    engine-backed run caches each perturbation separately and a repeat
+    run is pure cache hits.
+    """
     rows = []
     for name in PERTURBED_CONSTANTS:
         k_held = 0
@@ -105,8 +116,8 @@ def run(n: int = 10240) -> SensitivityResult:
             p_cal = dataclasses.replace(
                 P100_CAL, **{name: getattr(P100_CAL, name) * factor}
             )
-            k_held += _k40c_verdict(k_cal, n)
-            p_held += _p100_verdict(p_cal, n)
+            k_held += _k40c_verdict(k_cal, n, engine)
+            p_held += _p100_verdict(p_cal, n, engine)
         rows.append(
             SensitivityRow(
                 constant=name,

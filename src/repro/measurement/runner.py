@@ -82,6 +82,11 @@ class ExperimentRunner:
     def measure(self, trial: Trial) -> DataPoint:
         """Run the protocol; returns the converged data point.
 
+        The trial is invoked at most ``max_runs`` times — structurally,
+        via the bounded loop — for every admissible parameterization,
+        including the ``min_runs == max_runs`` edge where the single
+        convergence check happens exactly at the bound.
+
         Raises
         ------
         ValueError
@@ -92,7 +97,7 @@ class ExperimentRunner:
         """
         times: list[float] = []
         energies: list[float] = []
-        while len(times) < self.max_runs:
+        for _ in range(self.max_runs):
             t, e = trial()
             t, e = float(t), float(e)
             if not math.isfinite(t) or t <= 0:

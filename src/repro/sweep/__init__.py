@@ -1,0 +1,39 @@
+"""Parallel sweep engine with content-addressed result caching.
+
+The paper's results (Figs. 2, 7, 8 and the headline statistics) all
+derive from exhaustive sweeps of the ``(BS, G, R)`` configuration
+space per matrix size and device.  This package provides the reusable
+substrate every sweep-driven experiment runs on:
+
+* :class:`~repro.sweep.engine.SweepEngine` — fans the
+  ``(device, N, config)`` cross-product out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) with a
+  deterministic serial path for ``jobs=1``.  The parallel path is
+  bit-identical to the serial path (enforced by
+  ``tests/test_sweep_parity.py``).
+* :class:`~repro.sweep.cache.SweepCache` — a content-addressed on-disk
+  JSON cache keyed by a stable hash of the device specification,
+  calibration constants, matrix size, configuration and model version
+  (:func:`~repro.sweep.keys.sweep_key`), so repeated experiment and
+  benchmark runs skip already-computed points and interrupted sweeps
+  resume where they stopped.
+* :class:`~repro.sweep.plan.SweepRequest` — a declarative description
+  of one ``(device, N)`` sweep, resolvable to its configuration list.
+"""
+
+from repro.sweep.cache import CacheRecord, SweepCache
+from repro.sweep.engine import SweepEngine, SweepStats
+from repro.sweep.keys import MODEL_VERSION, canonical_json, sweep_key
+from repro.sweep.plan import SweepRequest, resolve_device
+
+__all__ = [
+    "CacheRecord",
+    "MODEL_VERSION",
+    "SweepCache",
+    "SweepEngine",
+    "SweepRequest",
+    "SweepStats",
+    "canonical_json",
+    "resolve_device",
+    "sweep_key",
+]

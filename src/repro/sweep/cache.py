@@ -1,0 +1,136 @@
+"""Content-addressed on-disk cache for sweep points.
+
+Layout: one JSON file per point under the cache root, sharded by the
+first two hex digits of the key to keep directories small::
+
+    <root>/<key[:2]>/<key>.json
+
+Each file is a small self-describing record (:class:`CacheRecord`), so
+a cache directory can be inspected, pruned or shipped around with
+ordinary tools.  Writes go through a temp file + ``os.replace`` so an
+interrupted sweep never leaves a half-written record under its final
+name; a corrupted record (truncated JSON, wrong schema, non-finite
+numbers) is treated as a miss and recomputed rather than crashing the
+sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["CacheRecord", "SweepCache", "CACHE_FORMAT"]
+
+CACHE_FORMAT = "repro-sweep-cache/1"
+
+
+@dataclass(frozen=True)
+class CacheRecord:
+    """One cached sweep point.
+
+    ``device``, ``n`` and ``config`` are denormalized copies of the
+    inputs (the key alone already identifies the point) kept so cache
+    files are human-readable and auditable.
+    """
+
+    key: str
+    device: str
+    n: int
+    config: dict[str, int]
+    time_s: float
+    energy_j: float
+    model_version: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": CACHE_FORMAT,
+            "key": self.key,
+            "device": self.device,
+            "n": self.n,
+            "config": self.config,
+            "time_s": self.time_s,
+            "energy_j": self.energy_j,
+            "model_version": self.model_version,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "CacheRecord":
+        if doc.get("format") != CACHE_FORMAT:
+            raise ValueError(
+                f"unsupported cache record format {doc.get('format')!r}"
+            )
+        time_s = float(doc["time_s"])
+        energy_j = float(doc["energy_j"])
+        if not math.isfinite(time_s) or not math.isfinite(energy_j):
+            raise ValueError("cached objectives must be finite")
+        if time_s < 0 or energy_j < 0:
+            raise ValueError("cached objectives must be non-negative")
+        config = doc["config"]
+        if not isinstance(config, dict):
+            raise ValueError("cached config must be a mapping")
+        return cls(
+            key=str(doc["key"]),
+            device=str(doc["device"]),
+            n=int(doc["n"]),
+            config={str(k): int(v) for k, v in config.items()},
+            time_s=time_s,
+            energy_j=energy_j,
+            model_version=str(doc["model_version"]),
+        )
+
+
+class SweepCache:
+    """Keyed store of sweep points under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        #: Corrupt files observed by :meth:`get`.
+        self.corrupt_entries = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (sharded by key prefix)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> CacheRecord | None:
+        """Load a record, or None on a miss.
+
+        A present-but-unreadable file — truncated JSON from an
+        interrupted write, foreign schema, corrupted numbers — is also
+        a miss: the caller recomputes and the next :meth:`put`
+        overwrites the bad file.  :attr:`corrupt_entries` counts these
+        so tooling can report cache health.
+        """
+        path = self.path_for(key)
+        try:
+            raw = json.loads(path.read_text())
+            if not isinstance(raw, dict):
+                raise ValueError("cache record must be a JSON object")
+            record = CacheRecord.from_dict(raw)
+        except FileNotFoundError:
+            return None
+        except (ValueError, KeyError, TypeError, OSError):
+            self.corrupt_entries += 1
+            return None
+        if record.key != key:
+            # A file renamed/copied to the wrong address never lies.
+            self.corrupt_entries += 1
+            return None
+        return record
+
+    def put(self, record: CacheRecord) -> None:
+        """Atomically persist a record at its content address."""
+        path = self.path_for(record.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record.to_dict(), indent=1) + "\n")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        """Number of record files currently in the cache."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))

@@ -1,0 +1,220 @@
+"""The sweep engine: parallel fan-out + content-addressed caching.
+
+:class:`SweepEngine` evaluates ``(device, N, config)`` points with
+three guarantees:
+
+1. **Determinism** — results are returned in the request's
+   configuration order, and the parallel path (``jobs > 1``) computes
+   every point with the same pure call the serial path makes, so the
+   two are bit-identical (``tests/test_sweep_parity.py`` enforces
+   this; cache round-trips are exact because JSON floats use
+   shortest-round-trip ``repr``).
+2. **Caching** — with a :class:`SweepCache` attached, every computed
+   point is persisted under its content key and never recomputed, so
+   repeated experiment/benchmark runs and interrupted sweeps only pay
+   for the points they have not seen.
+3. **Accounting** — :attr:`stats` reports how many points were
+   requested, served from cache, and actually computed; a warm-cache
+   rerun must show ``computed == 0``.
+
+Noise-injected evaluations (``rng`` trials) never go through the
+engine: the cache stores only the deterministic model output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.apps.matmul_gpu import MatmulConfig
+from repro.core.pareto import ParetoPoint
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+from repro.sweep.cache import CacheRecord, SweepCache
+from repro.sweep.keys import MODEL_VERSION, sweep_key
+from repro.sweep.plan import SweepRequest
+from repro.sweep.worker import evaluate_chunk, evaluate_one
+
+__all__ = ["SweepEngine", "SweepStats"]
+
+#: Configurations per process-pool task: large enough to amortize
+#: pickling, small enough to load-balance a ~150-point sweep.
+CHUNK_SIZE = 16
+
+
+@dataclass
+class SweepStats:
+    """Point-level accounting of one engine's lifetime."""
+
+    requested: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requested if self.requested else 0.0
+
+
+class SweepEngine:
+    """Evaluate sweeps in parallel with an optional persistent cache.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes.  ``1`` (the default) runs serially in-process
+        — the deterministic reference path; ``> 1`` fans chunks of
+        missing points out over a ``ProcessPoolExecutor``.
+    cache_dir / cache:
+        Attach a persistent :class:`SweepCache` (by directory, or an
+        instance).  Without either, every point is computed fresh.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: str | Path | None = None,
+        cache: SweepCache | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if cache is not None and cache_dir is not None:
+            raise ValueError("pass cache_dir or cache, not both")
+        self.jobs = jobs
+        self.cache = (
+            cache if cache is not None
+            else SweepCache(cache_dir) if cache_dir is not None
+            else None
+        )
+        self.stats = SweepStats()
+
+    # -- single points ------------------------------------------------------
+
+    def evaluate(
+        self,
+        device: str | GPUSpec,
+        n: int,
+        config: MatmulConfig | dict[str, int],
+        *,
+        cal: GPUCalibration | None = None,
+    ) -> ParetoPoint:
+        """Evaluate one configuration (always in-process, cached)."""
+        if isinstance(config, dict):
+            config = MatmulConfig(
+                bs=config["bs"], g=config["g"], r=config["r"]
+            )
+        req = SweepRequest(device=device, n=n, cal=cal)
+        return self.evaluate_configs(req, [config])[0]
+
+    # -- sweeps -------------------------------------------------------------
+
+    def sweep(
+        self,
+        device: str | GPUSpec,
+        n: int,
+        *,
+        total_products: int = 24,
+        min_bs: int | None = None,
+        cal: GPUCalibration | None = None,
+    ) -> list[ParetoPoint]:
+        """Evaluate every valid configuration for matrix size N.
+
+        Drop-in replacement for
+        :meth:`repro.apps.matmul_gpu.MatmulGPUApp.sweep_points`: same
+        enumeration, same order, same values.
+        """
+        req = SweepRequest(
+            device=device,
+            n=n,
+            total_products=total_products,
+            min_bs=min_bs,
+            cal=cal,
+        )
+        return self.evaluate_configs(req, req.configs())
+
+    def sweep_many(
+        self, requests: Sequence[SweepRequest]
+    ) -> list[list[ParetoPoint]]:
+        """Evaluate several sweeps; results match request order."""
+        return [self.evaluate_configs(r, r.configs()) for r in requests]
+
+    def evaluate_configs(
+        self, request: SweepRequest, configs: Sequence[MatmulConfig]
+    ) -> list[ParetoPoint]:
+        """Evaluate an explicit configuration list of one request.
+
+        The returned list is index-aligned with ``configs`` regardless
+        of parallelism or cache state.
+        """
+        spec = request.spec
+        cal = request.calibration
+        n = request.n
+        self.stats.requested += len(configs)
+
+        keys: list[str | None] = [None] * len(configs)
+        objectives: list[tuple[float, float] | None] = [None] * len(configs)
+        missing: list[int] = []
+        for i, cfg in enumerate(configs):
+            if self.cache is not None:
+                key = sweep_key(spec, cal, n, cfg.as_dict())
+                keys[i] = key
+                record = self.cache.get(key)
+                if record is not None:
+                    objectives[i] = (record.time_s, record.energy_j)
+                    self.stats.cache_hits += 1
+                    continue
+            missing.append(i)
+
+        if missing:
+            computed = self._compute(
+                spec, cal, n, [configs[i] for i in missing]
+            )
+            self.stats.computed += len(missing)
+            for i, obj in zip(missing, computed):
+                objectives[i] = obj
+                if self.cache is not None:
+                    self.cache.put(
+                        CacheRecord(
+                            key=keys[i],  # type: ignore[arg-type]
+                            device=spec.name,
+                            n=n,
+                            config=configs[i].as_dict(),
+                            time_s=obj[0],
+                            energy_j=obj[1],
+                            model_version=MODEL_VERSION,
+                        )
+                    )
+
+        return [
+            ParetoPoint(
+                time_s=obj[0], energy_j=obj[1], config=cfg.as_dict()
+            )
+            for cfg, obj in zip(configs, objectives)
+        ]
+
+    # -- computation --------------------------------------------------------
+
+    def _compute(
+        self,
+        spec: GPUSpec,
+        cal: GPUCalibration,
+        n: int,
+        configs: Sequence[MatmulConfig],
+    ) -> list[tuple[float, float]]:
+        if self.jobs == 1 or len(configs) <= CHUNK_SIZE:
+            return [evaluate_one(spec, cal, n, c) for c in configs]
+        chunks = [
+            configs[i : i + CHUNK_SIZE]
+            for i in range(0, len(configs), CHUNK_SIZE)
+        ]
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [
+                pool.submit(evaluate_chunk, spec, cal, n, chunk)
+                for chunk in chunks
+            ]
+            results: list[tuple[float, float]] = []
+            for future in futures:
+                results.extend(future.result())
+        return results

@@ -1,0 +1,58 @@
+"""Stable content-addressed keys for sweep points.
+
+A sweep point is fully determined by the device specification, the
+calibration constants, the matrix size, the ``(BS, G, R)``
+configuration, and the simulator version.  :func:`sweep_key` hashes a
+canonical JSON encoding of exactly those inputs, so
+
+* two runs that would compute the same number share one cache entry,
+* any change to a spec constant, a calibration constant (including the
+  sensitivity study's perturbed calibrations) or the model version
+  produces a different key — a stale entry can never be returned for a
+  changed model.
+
+JSON float encoding uses ``repr`` (shortest round-trip), so the key is
+stable across processes and Python sessions on the same platform.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+
+__all__ = ["MODEL_VERSION", "canonical_json", "sweep_key"]
+
+#: Version of the GPU simulator's *code* (the constants are hashed
+#: directly).  Bump whenever `repro.simgpu` changes the mapping from
+#: (spec, calibration, N, BS, G, R) to (time, energy); the golden
+#: regression tests fail loudly if a change lands without a bump.
+MODEL_VERSION = "gpu-matmul/1"
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no whitespace."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def sweep_key(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    n: int,
+    config: dict[str, int],
+) -> str:
+    """SHA-256 content key of one ``(device, N, config)`` sweep point."""
+    payload = {
+        "model_version": MODEL_VERSION,
+        "spec": dataclasses.asdict(spec),
+        "calibration": dataclasses.asdict(cal),
+        "n": int(n),
+        "config": {k: int(v) for k, v in sorted(config.items())},
+    }
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

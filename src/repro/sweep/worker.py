@@ -1,0 +1,46 @@
+"""Process-pool worker for sweep-point evaluation.
+
+Lives in its own importable module so :class:`ProcessPoolExecutor`
+can pickle the entry point regardless of start method (fork or
+spawn).  Workers are pure: a chunk of ``(BS, G, R)`` configurations
+plus the frozen spec/calibration dataclasses goes in, the modelled
+``(time_s, dynamic_energy_j)`` pairs come out, and the parent process
+owns all cache I/O and :class:`ParetoPoint` construction.  The
+evaluation call is exactly the one the serial path makes
+(``GPUDevice.run_matmul`` with no noise RNG), which is what makes the
+parallel path bit-identical to the serial one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.apps.matmul_gpu import MatmulConfig
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+from repro.simgpu.device import GPUDevice
+
+__all__ = ["evaluate_chunk", "evaluate_one"]
+
+
+def evaluate_one(
+    spec: GPUSpec, cal: GPUCalibration, n: int, config: MatmulConfig
+) -> tuple[float, float]:
+    """Model one configuration; returns ``(time_s, dynamic_energy_j)``."""
+    result = GPUDevice(spec, cal).run_matmul(n, config.bs, config.g, config.r)
+    return (result.time_s, result.dynamic_energy_j)
+
+
+def evaluate_chunk(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    n: int,
+    configs: Sequence[MatmulConfig],
+) -> list[tuple[float, float]]:
+    """Model a chunk of configurations of one ``(device, N)`` sweep."""
+    device = GPUDevice(spec, cal)
+    out = []
+    for c in configs:
+        result = device.run_matmul(n, c.bs, c.g, c.r)
+        out.append((result.time_s, result.dynamic_energy_j))
+    return out

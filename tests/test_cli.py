@@ -23,6 +23,64 @@ class TestParser:
         assert args.products == 24
 
 
+class TestEngineFlags:
+    def test_sweep_engine_flag_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_experiment_accepts_engine_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig7", "--jobs", "4", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/c"
+
+    def test_jobs_below_one_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["experiment", "fig7", "--jobs", "0"])
+
+    def test_sweep_with_cache_dir_populates_cache(self, tmp_path, capsys):
+        cache = tmp_path / "sweeps"
+        assert main(
+            ["sweep", "--device", "k40c", "--n", "2048",
+             "--cache-dir", str(cache)]
+        ) == 0
+        files = list(cache.glob("??/*.json"))
+        assert len(files) == 146  # one record per configuration
+        # Warm rerun: identical output, zero recomputations.
+        first = capsys.readouterr().out
+        assert main(
+            ["sweep", "--device", "k40c", "--n", "2048",
+             "--cache-dir", str(cache)]
+        ) == 0
+        assert capsys.readouterr().out == first
+        assert len(list(cache.glob("??/*.json"))) == 146
+
+    def test_no_cache_overrides_env(self, tmp_path, monkeypatch, capsys):
+        cache = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        assert main(
+            ["sweep", "--device", "k40c", "--n", "2048", "--no-cache"]
+        ) == 0
+        assert not cache.exists()
+
+    def test_env_cache_dir_used_by_default(self, tmp_path, monkeypatch, capsys):
+        cache = tmp_path / "from-env"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache))
+        assert main(["sweep", "--device", "k40c", "--n", "2048"]) == 0
+        assert any(cache.glob("??/*.json"))
+
+    def test_parallel_sweep_output_matches_serial(self, tmp_path, capsys):
+        assert main(["sweep", "--device", "p100", "--n", "4096"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["sweep", "--device", "p100", "--n", "4096", "--jobs", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+
 class TestCommands:
     def test_machines(self, capsys):
         assert main(["machines"]) == 0

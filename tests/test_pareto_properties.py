@@ -1,0 +1,139 @@
+"""Property-based invariant tests for :mod:`repro.core.pareto`.
+
+Hand-rolled randomized property testing (the environment has no
+``hypothesis``): each property is checked over many seeded random
+point clouds, including degenerate shapes — duplicated objective
+vectors, collinear points, integer grids that force ties — that a
+handful of fixed fixtures would miss.  Every cloud is deterministic in
+its seed, so failures reproduce.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import (
+    ParetoPoint,
+    dominates,
+    local_pareto_front,
+    nondominated_sort,
+    pareto_front,
+)
+
+SEEDS = range(25)
+
+
+def random_cloud(seed: int) -> list[ParetoPoint]:
+    """A random point cloud whose shape varies with the seed.
+
+    Three regimes: continuous uniform (generic position), a coarse
+    integer grid (many exact ties and duplicated objective vectors),
+    and a mixture with duplicated points appended verbatim.
+    """
+    rng = np.random.default_rng(seed)
+    size = int(rng.integers(1, 120))
+    regime = seed % 3
+    if regime == 0:
+        times = rng.uniform(0.1, 10.0, size)
+        energies = rng.uniform(1.0, 1000.0, size)
+    elif regime == 1:
+        times = rng.integers(1, 8, size).astype(float)
+        energies = rng.integers(1, 8, size).astype(float)
+    else:
+        times = np.concatenate([rng.uniform(0.1, 10.0, size), [1.0] * 5])
+        energies = np.concatenate([rng.uniform(1.0, 1000.0, size), [5.0] * 5])
+    return [
+        ParetoPoint(float(t), float(e), config={"i": i})
+        for i, (t, e) in enumerate(zip(times, energies))
+    ]
+
+
+def brute_force_front_vectors(
+    points: list[ParetoPoint],
+) -> set[tuple[float, float]]:
+    """O(n²) reference: the set of non-dominated objective vectors."""
+    return {
+        p.objectives()
+        for p in points
+        if not any(dominates(q, p) for q in points)
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestParetoFrontProperties:
+    def test_front_members_mutually_nondominating(self, seed):
+        front = pareto_front(random_cloud(seed))
+        for a in front:
+            for b in front:
+                assert not dominates(a, b)
+
+    def test_front_is_subset_of_input(self, seed):
+        cloud = random_cloud(seed)
+        ids = {id(p) for p in cloud}
+        for p in pareto_front(cloud):
+            assert id(p) in ids
+
+    def test_dominated_points_never_in_front(self, seed):
+        cloud = random_cloud(seed)
+        front = pareto_front(cloud)
+        for member in front:
+            assert not any(dominates(q, member) for q in cloud)
+
+    def test_front_matches_brute_force(self, seed):
+        cloud = random_cloud(seed)
+        got = {p.objectives() for p in pareto_front(cloud)}
+        assert got == brute_force_front_vectors(cloud)
+
+    def test_front_independent_of_input_order(self, seed):
+        cloud = random_cloud(seed)
+        baseline = [p.objectives() for p in pareto_front(cloud)]
+        shuffled = cloud[:]
+        random.Random(seed).shuffle(shuffled)
+        assert [p.objectives() for p in pareto_front(shuffled)] == baseline
+        assert [
+            p.objectives() for p in pareto_front(cloud[::-1])
+        ] == baseline
+
+    def test_front_sorted_and_strictly_improving(self, seed):
+        front = pareto_front(random_cloud(seed))
+        times = [p.time_s for p in front]
+        energies = [p.energy_j for p in front]
+        assert times == sorted(times)
+        # Strictly decreasing energy left to right (duplicates collapse).
+        assert all(a > b for a, b in zip(energies, energies[1:]))
+
+    def test_front_idempotent(self, seed):
+        front = pareto_front(random_cloud(seed))
+        assert pareto_front(front) == front
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestDerivedFrontProperties:
+    def test_local_front_is_front_of_region(self, seed):
+        cloud = random_cloud(seed)
+        region = lambda p: p.time_s <= 5.0  # noqa: E731
+        local = local_pareto_front(cloud, region)
+        inside = [p for p in cloud if region(p)]
+        assert local == pareto_front(inside)
+        assert all(region(p) for p in local)
+
+    def test_nondominated_sort_partitions_cloud(self, seed):
+        cloud = random_cloud(seed)
+        layers = nondominated_sort(cloud)
+        assert sum(len(layer) for layer in layers) == len(cloud)
+        if layers:
+            assert [
+                p.objectives() for p in layers[0]
+            ] == [p.objectives() for p in pareto_front(cloud)]
+
+    def test_nondominated_sort_rank_monotone(self, seed):
+        cloud = random_cloud(seed)
+        layers = nondominated_sort(cloud)
+        # No point in layer k dominates any point in an earlier layer.
+        for k, layer in enumerate(layers):
+            for earlier in layers[:k]:
+                for p in layer:
+                    assert not any(dominates(p, q) for q in earlier)

@@ -1,0 +1,116 @@
+"""Edge-case tests for :class:`repro.measurement.runner.ExperimentRunner`.
+
+Pins the boundary behavior of the Student-t measurement loop: the
+``max_runs`` bound is hard (including the ``min_runs == max_runs``
+degenerate parameterization), an all-zero energy series is exactly
+known, and invalid trial observations raise instead of polluting the
+sample means.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.measurement.runner import ExperimentRunner
+
+
+class TestMaxRunsBound:
+    def test_nonconvergence_at_max_runs_sets_flag(self):
+        noisy = itertools.cycle([(1.0, 1.0), (5.0, 9.0), (0.2, 0.1)])
+        dp = ExperimentRunner(min_runs=2, max_runs=7).measure(
+            lambda: next(noisy)
+        )
+        assert not dp.converged
+        assert dp.n_runs == 7
+        assert dp.time_precision > 0.025
+
+    def test_min_equals_max_never_loops_past_bound(self):
+        """min_runs == max_runs must stop at exactly max_runs trials."""
+        calls = 0
+        noisy = itertools.cycle([(1.0, 1.0), (9.0, 90.0)])
+
+        def trial():
+            nonlocal calls
+            calls += 1
+            return next(noisy)
+
+        dp = ExperimentRunner(min_runs=6, max_runs=6).measure(trial)
+        assert calls == 6
+        assert dp.n_runs == 6
+        assert not dp.converged
+
+    def test_min_equals_max_still_detects_convergence(self):
+        calls = 0
+
+        def trial():
+            nonlocal calls
+            calls += 1
+            return (3.0, 42.0)
+
+        dp = ExperimentRunner(min_runs=4, max_runs=4).measure(trial)
+        assert calls == 4
+        assert dp.converged
+        assert dp.n_runs == 4
+        assert dp.time_s == 3.0 and dp.energy_j == 42.0
+
+    def test_trial_count_never_exceeds_max_runs(self):
+        for min_runs, max_runs in [(2, 2), (2, 5), (5, 5), (3, 10)]:
+            calls = 0
+            noisy = itertools.cycle([(1.0, 5.0), (2.0, 500.0)])
+
+            def trial():
+                nonlocal calls
+                calls += 1
+                return next(noisy)
+
+            ExperimentRunner(min_runs=min_runs, max_runs=max_runs).measure(
+                trial
+            )
+            assert calls <= max_runs
+
+
+class TestZeroEnergySeries:
+    def test_all_zero_energy_converges(self):
+        dp = ExperimentRunner(min_runs=3, max_runs=10).measure(
+            lambda: (2.5, 0.0)
+        )
+        assert dp.converged
+        assert dp.n_runs == 3
+        assert dp.energy_j == 0.0
+        assert dp.energy_precision == 0.0
+
+    def test_zero_mean_with_spread_cannot_converge(self):
+        # A series averaging to zero with nonzero spread is unknowable
+        # at any relative precision; the loop must hit max_runs.
+        vals = itertools.cycle([(1.0, 0.0), (1.0, 1e-12)])
+        dp = ExperimentRunner(min_runs=2, max_runs=6).measure(
+            lambda: next(vals)
+        )
+        assert dp.n_runs == 6
+
+
+class TestInvalidTrialValues:
+    @pytest.mark.parametrize(
+        "t,e",
+        [
+            (float("nan"), 1.0),
+            (float("inf"), 1.0),
+            (1.0, float("nan")),
+            (1.0, float("-inf")),
+            (0.0, 1.0),
+            (-2.0, 1.0),
+            (1.0, -0.5),
+        ],
+    )
+    def test_nonfinite_or_negative_raises(self, t, e):
+        with pytest.raises(ValueError, match="invalid"):
+            ExperimentRunner().measure(lambda: (t, e))
+
+    def test_invalid_value_raises_before_any_averaging(self):
+        """A bad observation on run k aborts; no DataPoint is produced."""
+        series = iter([(1.0, 1.0), (1.0, 1.0), (math.nan, 1.0)])
+        with pytest.raises(ValueError):
+            ExperimentRunner(min_runs=5).measure(lambda: next(series))

@@ -1,0 +1,256 @@
+"""Unit tests for the :mod:`repro.sweep` subsystem.
+
+Engine mechanics, content-addressed keys, cache round-trips,
+corruption fallback, interrupted-sweep resume, and stats accounting.
+The serial/parallel/cached bit-parity guarantees live in
+``tests/test_sweep_parity.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.apps.matmul_gpu import MatmulConfig, MatmulGPUApp
+from repro.machines.specs import K40C, P100
+from repro.simgpu.calibration import K40C_CAL, P100_CAL, calibration_for
+from repro.sweep import (
+    MODEL_VERSION,
+    CacheRecord,
+    SweepCache,
+    SweepEngine,
+    SweepRequest,
+    resolve_device,
+    sweep_key,
+)
+
+
+class TestSweepKey:
+    def test_key_is_stable(self):
+        cfg = {"bs": 32, "g": 1, "r": 24}
+        a = sweep_key(P100, P100_CAL, 10240, cfg)
+        b = sweep_key(P100, P100_CAL, 10240, dict(reversed(cfg.items())))
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_key_distinguishes_every_input(self):
+        base = sweep_key(P100, P100_CAL, 10240, {"bs": 32, "g": 1, "r": 24})
+        assert sweep_key(K40C, K40C_CAL, 10240, {"bs": 32, "g": 1, "r": 24}) != base
+        assert sweep_key(P100, P100_CAL, 8192, {"bs": 32, "g": 1, "r": 24}) != base
+        assert sweep_key(P100, P100_CAL, 10240, {"bs": 31, "g": 1, "r": 24}) != base
+
+    def test_key_depends_on_calibration(self):
+        """A perturbed calibration (sensitivity study) gets its own key."""
+        perturbed = dataclasses.replace(
+            P100_CAL, e_lane_j=P100_CAL.e_lane_j * 1.2
+        )
+        cfg = {"bs": 32, "g": 1, "r": 24}
+        assert sweep_key(P100, perturbed, 10240, cfg) != sweep_key(
+            P100, P100_CAL, 10240, cfg
+        )
+
+
+class TestResolveDevice:
+    def test_registry_keys(self):
+        assert resolve_device("p100") is P100
+        assert resolve_device("k40c") is K40C
+        assert resolve_device(P100) is P100
+
+    def test_cpu_is_rejected(self):
+        with pytest.raises(ValueError, match="not a GPU"):
+            resolve_device("haswell")
+
+
+class TestSweepRequest:
+    def test_configs_match_app_enumeration(self):
+        req = SweepRequest(device="p100", n=10240)
+        assert req.configs() == MatmulGPUApp(P100).sweep_configs()
+
+    def test_default_calibration(self):
+        assert SweepRequest(device="k40c", n=8192).calibration is calibration_for(K40C)
+
+
+class TestSweepCache:
+    def record(self, key="ab" + "0" * 62):
+        return CacheRecord(
+            key=key,
+            device="p100",
+            n=10240,
+            config={"bs": 32, "g": 1, "r": 24},
+            time_s=30.5,
+            energy_j=7900.25,
+            model_version=MODEL_VERSION,
+        )
+
+    def test_roundtrip_is_exact(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        rec = self.record()
+        cache.put(rec)
+        got = cache.get(rec.key)
+        assert got == rec
+        assert got.time_s == rec.time_s  # bit-exact float round-trip
+
+    def test_miss_returns_none(self, tmp_path):
+        assert SweepCache(tmp_path).get("ff" + "0" * 62) is None
+
+    def test_truncated_json_falls_back_to_miss(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        rec = self.record()
+        cache.put(rec)
+        path = cache.path_for(rec.key)
+        path.write_text(path.read_text()[:37])  # simulate a torn write
+        assert cache.get(rec.key) is None
+        assert cache.corrupt_entries == 1
+        # Recompute-and-put overwrites the corrupt file.
+        cache.put(rec)
+        assert cache.get(rec.key) == rec
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda d: d.update(format="other/9"),
+            lambda d: d.pop("time_s"),
+            lambda d: d.update(time_s="not-a-number"),
+            lambda d: d.update(time_s=float("nan")),
+            lambda d: d.update(time_s=-1.0),
+            lambda d: d.update(config=[1, 2, 3]),
+        ],
+    )
+    def test_malformed_records_fall_back_to_miss(self, tmp_path, mutate):
+        cache = SweepCache(tmp_path)
+        rec = self.record()
+        cache.put(rec)
+        path = cache.path_for(rec.key)
+        doc = json.loads(path.read_text())
+        mutate(doc)
+        path.write_text(json.dumps(doc, default=str))
+        assert cache.get(rec.key) is None
+        assert cache.corrupt_entries == 1
+
+    def test_key_mismatch_is_a_miss(self, tmp_path):
+        """A record copied to the wrong content address never lies."""
+        cache = SweepCache(tmp_path)
+        rec = self.record()
+        cache.put(rec)
+        other_key = "cd" + "1" * 62
+        target = cache.path_for(other_key)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(cache.path_for(rec.key).read_text())
+        assert cache.get(other_key) is None
+
+    def test_len_counts_records(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert len(cache) == 0
+        cache.put(self.record())
+        cache.put(self.record(key="cd" + "2" * 62))
+        assert len(cache) == 2
+
+
+class TestSweepEngine:
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            SweepEngine(jobs=0)
+
+    def test_cache_args_exclusive(self, tmp_path):
+        with pytest.raises(ValueError):
+            SweepEngine(cache_dir=tmp_path, cache=SweepCache(tmp_path))
+
+    def test_sweep_matches_app(self):
+        points = SweepEngine().sweep("p100", 4096)
+        assert points == MatmulGPUApp(P100).sweep_points(4096)
+
+    def test_evaluate_single_point(self):
+        cfg = MatmulConfig(bs=32, g=1, r=24)
+        point = SweepEngine().evaluate("k40c", 4096, cfg)
+        expected = MatmulGPUApp(K40C).evaluate(4096, cfg)
+        assert point == expected
+        # Dict configs are accepted too.
+        assert SweepEngine().evaluate("k40c", 4096, cfg.as_dict()) == expected
+
+    def test_sweep_many_preserves_request_order(self):
+        reqs = [
+            SweepRequest(device="p100", n=4096),
+            SweepRequest(device="k40c", n=2048),
+        ]
+        results = SweepEngine().sweep_many(reqs)
+        assert len(results) == 2
+        assert results[0] == MatmulGPUApp(P100).sweep_points(4096)
+        assert results[1] == MatmulGPUApp(K40C).sweep_points(2048)
+
+    def test_stats_cold_then_warm(self, tmp_path):
+        cold = SweepEngine(cache_dir=tmp_path)
+        points = cold.sweep("p100", 4096)
+        assert cold.stats.requested == len(points)
+        assert cold.stats.computed == len(points)
+        assert cold.stats.cache_hits == 0
+
+        warm = SweepEngine(cache_dir=tmp_path)
+        again = warm.sweep("p100", 4096)
+        assert again == points
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == len(points)
+        assert warm.stats.hit_rate == 1.0
+
+    def test_interrupted_sweep_resumes(self, tmp_path):
+        """Only the points missing from the cache are recomputed."""
+        engine = SweepEngine(cache_dir=tmp_path)
+        full = engine.sweep("k40c", 4096)
+        # Simulate an interruption: drop a third of the cache files.
+        files = sorted(engine.cache.root.glob("??/*.json"))
+        dropped = files[:: 3]
+        for f in dropped:
+            f.unlink()
+        resumed = SweepEngine(cache_dir=tmp_path)
+        assert resumed.sweep("k40c", 4096) == full
+        assert resumed.stats.computed == len(dropped)
+        assert resumed.stats.cache_hits == len(full) - len(dropped)
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        engine = SweepEngine(cache_dir=tmp_path)
+        full = engine.sweep("k40c", 4096)
+        victim = sorted(engine.cache.root.glob("??/*.json"))[0]
+        victim.write_text('{"format": "repro-sweep-cache/1", "key"')
+        rerun = SweepEngine(cache_dir=tmp_path)
+        assert rerun.sweep("k40c", 4096) == full
+        assert rerun.stats.computed == 1
+        assert rerun.cache.corrupt_entries == 1
+
+    def test_model_version_invalidates(self, tmp_path, monkeypatch):
+        engine = SweepEngine(cache_dir=tmp_path)
+        engine.sweep("p100", 4096)
+        monkeypatch.setattr(
+            "repro.sweep.engine.MODEL_VERSION", "gpu-matmul/999"
+        )
+        monkeypatch.setattr(
+            "repro.sweep.keys.MODEL_VERSION", "gpu-matmul/999"
+        )
+        bumped = SweepEngine(cache_dir=tmp_path)
+        bumped.sweep("p100", 4096)
+        assert bumped.stats.cache_hits == 0
+        assert bumped.stats.computed == bumped.stats.requested
+
+    def test_perturbed_calibration_does_not_collide(self, tmp_path):
+        engine = SweepEngine(cache_dir=tmp_path)
+        base = engine.sweep("p100", 4096)
+        perturbed_cal = dataclasses.replace(
+            P100_CAL, e_lane_j=P100_CAL.e_lane_j * 1.2
+        )
+        perturbed = engine.sweep("p100", 4096, cal=perturbed_cal)
+        assert engine.stats.cache_hits == 0
+        assert [p.config for p in base] == [p.config for p in perturbed]
+        assert base != perturbed
+
+    def test_noisy_sweeps_bypass_engine(self, tmp_path):
+        """rng sweeps must not populate or read the cache."""
+        import numpy as np
+
+        engine = SweepEngine(cache_dir=tmp_path)
+        app = MatmulGPUApp(P100)
+        noisy = app.sweep_points(
+            4096, rng=np.random.default_rng(7), engine=engine
+        )
+        assert engine.stats.requested == 0
+        assert len(engine.cache) == 0
+        assert len(noisy) == len(app.sweep_configs())

@@ -1,0 +1,72 @@
+"""Parity guarantees of the sweep engine.
+
+The hard correctness requirement of the subsystem: the parallel path
+(``jobs=4``) and the serial path (``jobs=1``) — cold or through the
+on-disk cache — must produce **bit-identical** ``ParetoPoint``
+sequences.  ``ParetoPoint`` is a frozen dataclass whose equality
+compares the raw float objectives and the config payload, so ``==``
+over the sequences is exactly bit-parity (JSON cache round-trips are
+exact because floats serialize via shortest-round-trip ``repr``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.experiments import fig7_k40c_pareto, fig8_p100_pareto
+from repro.machines.specs import K40C, P100
+from repro.sweep import SweepEngine
+
+#: Per-device sweep workloads: paper sizes, small enough to keep the
+#: suite quick.
+CASES = [("k40c", K40C, 8704), ("p100", P100, 10240)]
+
+
+@pytest.mark.parametrize("device,spec,n", CASES)
+class TestSerialParallelParity:
+    def test_parallel_matches_serial_cold(self, device, spec, n):
+        serial = SweepEngine(jobs=1).sweep(device, n)
+        parallel = SweepEngine(jobs=4).sweep(device, n)
+        assert parallel == serial
+
+    def test_parallel_matches_app_reference(self, device, spec, n):
+        reference = MatmulGPUApp(spec).sweep_points(n)
+        assert SweepEngine(jobs=4).sweep(device, n) == reference
+
+    def test_cached_parallel_matches_cold_serial(self, device, spec, n, tmp_path):
+        serial_cold = SweepEngine(jobs=1).sweep(device, n)
+        # Populate the cache with the parallel path...
+        warmup = SweepEngine(jobs=4, cache_dir=tmp_path)
+        assert warmup.sweep(device, n) == serial_cold
+        # ...then read it back through both serial and parallel engines.
+        warm_serial = SweepEngine(jobs=1, cache_dir=tmp_path)
+        warm_parallel = SweepEngine(jobs=4, cache_dir=tmp_path)
+        assert warm_serial.sweep(device, n) == serial_cold
+        assert warm_parallel.sweep(device, n) == serial_cold
+        assert warm_serial.stats.computed == 0
+        assert warm_parallel.stats.computed == 0
+
+
+class TestExperimentWarmCacheAcceptance:
+    def test_fig7_fig8_warm_rerun_computes_nothing(self, tmp_path):
+        """Acceptance: warm-cache fig7+fig8 rerun = zero recomputations."""
+        cold = SweepEngine(jobs=1, cache_dir=tmp_path)
+        fig7_cold = fig7_k40c_pareto.run(engine=cold)
+        fig8_cold = fig8_p100_pareto.run(engine=cold)
+        assert cold.stats.computed > 0
+
+        warm = SweepEngine(jobs=1, cache_dir=tmp_path)
+        fig7_warm = fig7_k40c_pareto.run(engine=warm)
+        fig8_warm = fig8_p100_pareto.run(engine=warm)
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == cold.stats.requested
+
+        # And the cached rerun is bit-identical to the cold run.
+        assert fig7_warm == fig7_cold
+        assert fig8_warm == fig8_cold
+
+    def test_experiments_identical_with_and_without_engine(self, tmp_path):
+        engine = SweepEngine(jobs=2, cache_dir=tmp_path)
+        assert fig7_k40c_pareto.run(engine=engine) == fig7_k40c_pareto.run()
+        assert fig8_p100_pareto.run(engine=engine) == fig8_p100_pareto.run()
