@@ -22,6 +22,7 @@ carry an arbitrary configuration payload through the analysis.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -158,17 +159,17 @@ def epsilon_pareto_front(
     if epsilon < 0:
         raise ValueError("epsilon must be non-negative")
     front = pareto_front(points)
-    if not front:
-        return []
     kept: list[ParetoPoint] = []
     scale = 1.0 + epsilon
+    # The front is sorted by increasing time with strictly decreasing
+    # energy, so every kept point already satisfies the time condition
+    # (s.time ≤ p.time ≤ scale·p.time) and the energy condition is
+    # tightest for the *last* kept point — one O(1) test per point
+    # instead of a scan over ``kept``.
     for p in front:
-        covered = any(
-            s.time_s <= scale * p.time_s and s.energy_j <= scale * p.energy_j
-            for s in kept
-        )
-        if not covered:
-            kept.append(p)
+        if kept and kept[-1].energy_j <= scale * p.energy_j:
+            continue
+        kept.append(p)
     return kept
 
 
@@ -181,15 +182,31 @@ def nondominated_sort(
     remaining points once ranks ``< k`` are removed.  Duplicate
     objective vectors beyond the first representative are assigned to
     the next layer (they are mutually non-dominating but add no new
-    trade-off).  Complexity O(n log n) per layer.
+    trade-off).
+
+    Single-sort staircase algorithm, O(n log n) total: process points
+    in (time, energy) order and assign each to the first layer whose
+    current minimum energy still exceeds the point's energy — exactly
+    the layer the repeated-:func:`pareto_front`-peeling formulation
+    would give it, because a sorted-order point is excluded from a
+    layer iff an earlier point kept in that layer has energy ≤ its own.
+    The per-layer minimum energies form a non-decreasing array (a point
+    lands in layer k+1 only when its energy is at least layer k's
+    minimum), so the first admissible layer is a binary search.
     """
-    remaining = _as_points(points)
+    pts = _as_points(points)
+    order = sorted(range(len(pts)), key=lambda i: (pts[i].time_s, pts[i].energy_j))
     layers: list[list[ParetoPoint]] = []
-    while remaining:
-        front = pareto_front(remaining)
-        layers.append(front)
-        front_ids = {id(p) for p in front}
-        remaining = [p for p in remaining if id(p) not in front_ids]
+    min_energy: list[float] = []  # per-layer minimum energy, non-decreasing
+    for i in order:
+        p = pts[i]
+        layer = bisect_right(min_energy, p.energy_j)
+        if layer == len(layers):
+            layers.append([])
+            min_energy.append(p.energy_j)
+        else:
+            min_energy[layer] = p.energy_j
+        layers[layer].append(p)
     return layers
 
 

@@ -1,6 +1,11 @@
 """GPU simulator substrate: occupancy, warp efficiency, memory
 hierarchy, kernel pipeline timing, component power, DVFS, CUPTI."""
 
+from repro.simgpu.batch import (
+    BatchRunResult,
+    batch_run_matmul,
+    evaluate_configs_batch,
+)
 from repro.simgpu.calibration import (
     GPUCalibration,
     K40C_CAL,
@@ -26,6 +31,9 @@ from repro.simgpu.warps import lane_efficiency, smem_replay_factor, warps_per_bl
 from repro.simgpu.waves import WaveAnalysis, analyze_waves
 
 __all__ = [
+    "BatchRunResult",
+    "batch_run_matmul",
+    "evaluate_configs_batch",
     "GPUCalibration",
     "K40C_CAL",
     "P100_CAL",

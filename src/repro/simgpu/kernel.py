@@ -111,10 +111,16 @@ class KernelResources:
     traffic: TrafficModel
 
 
+@lru_cache(maxsize=4096)
 def matmul_kernel_resources(
     spec: GPUSpec, cal: GPUCalibration, n: int, bs: int, g: int
 ) -> KernelResources:
     """Build the resource model for one (N, BS, G) kernel launch.
+
+    Memoized across calls: the resource model depends only on the
+    hashable frozen ``(spec, cal, n, bs, g)`` — R only scales time and
+    energy linearly — so R-repeats and repeated sweeps of the same
+    configuration reuse one :class:`KernelResources` instance.
 
     Raises
     ------

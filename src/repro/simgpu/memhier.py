@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.machines.specs import GPUSpec
 
@@ -69,6 +70,7 @@ class TrafficModel:
         return self.dram_read_bytes + self.dram_write_bytes
 
 
+@lru_cache(maxsize=4096)
 def matmul_traffic(
     spec: GPUSpec, n: int, bs: int, *, l2_hit_cap: float = 0.5
 ) -> TrafficModel:
@@ -77,6 +79,10 @@ def matmul_traffic(
     ``l2_hit_cap`` bounds the L2 hit fraction; it is a per-device
     calibration knob (streaming-friendly replacement policies retain
     less of the B strip).
+
+    Memoized: the model is a pure function of hashable frozen inputs,
+    and R-repeats / repeated sweeps of the same ``(N, BS)`` re-request
+    the identical traffic model.
     """
     if n < 1:
         raise ValueError("N must be positive")

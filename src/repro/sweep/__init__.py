@@ -19,14 +19,21 @@ substrate every sweep-driven experiment runs on:
   resume where they stopped.
 * :class:`~repro.sweep.plan.SweepRequest` — a declarative description
   of one ``(device, N)`` sweep, resolvable to its configuration list.
+* a ``backend="vectorized"`` execution path that evaluates all missing
+  points of a sweep in one NumPy batch (:mod:`repro.simgpu.batch`),
+  and :func:`~repro.sweep.bench.run_benchmark` which times the
+  backends against each other (``repro bench``).
 """
 
+from repro.sweep.bench import BenchmarkCase, run_benchmark
 from repro.sweep.cache import CacheRecord, SweepCache
-from repro.sweep.engine import SweepEngine, SweepStats
+from repro.sweep.engine import BACKENDS, SweepEngine, SweepStats, chunk_size_for
 from repro.sweep.keys import MODEL_VERSION, canonical_json, sweep_key
 from repro.sweep.plan import SweepRequest, resolve_device
 
 __all__ = [
+    "BACKENDS",
+    "BenchmarkCase",
     "CacheRecord",
     "MODEL_VERSION",
     "SweepCache",
@@ -34,6 +41,8 @@ __all__ = [
     "SweepRequest",
     "SweepStats",
     "canonical_json",
+    "chunk_size_for",
     "resolve_device",
+    "run_benchmark",
     "sweep_key",
 ]

@@ -1,0 +1,309 @@
+"""Backend benchmark for the sweep engine (``repro bench``).
+
+Times the three execution paths — serial scalar reference, process-pool
+parallel scalar, and NumPy-vectorized batch — on the paper's P100
+sweeps, and records the results as ``BENCH_sweep.json`` so the perf
+trajectory of the simulator is tracked in-repo.
+
+Methodology
+-----------
+Each backend evaluates the *same* configuration list (the full default
+sweep of :class:`repro.apps.matmul_gpu.MatmulGPUApp`) with no cache
+attached, so the measurement is pure evaluation:
+
+* ``scalar`` times :func:`repro.sweep.worker.evaluate_chunk` — the
+  exact per-point call the serial engine path makes;
+* ``parallel`` times a ``jobs``-worker :class:`SweepEngine` end to end
+  (including pool startup — that is what a user pays);
+* ``vectorized`` times :func:`repro.simgpu.batch.evaluate_configs_batch`.
+
+Every case also records the maximum relative deviation of the
+vectorized results from the scalar reference, so the reported speedup
+is always tied to the parity it was achieved at.  Wall-clock is the
+*minimum* over ``repeats`` runs (the standard noise-robust estimator).
+
+The per-``(N, BS, G)`` memo caches (``matmul_kernel_resources`` /
+``matmul_traffic``) are cleared before every timed run of every
+backend: those caches are keyed by the sweep's inputs, so a production
+sweep of a *new* matrix size never hits them — timing warm repeats of
+the identical sweep would measure an artifact of the benchmark loop,
+not the fresh-sweep cost users pay.  Caches keyed only by BS
+(``avg_rows_per_warp``), which are legitimately shared across sweeps,
+stay warm.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "BenchmarkCase",
+    "run_benchmark",
+    "format_results",
+    "add_bench_flags",
+    "run_from_args",
+    "main",
+]
+
+#: Schema tag of the BENCH_sweep.json document.
+BENCH_VERSION = "repro-bench/1"
+
+#: The paper-scale P100 sweeps the benchmark times by default.
+DEFAULT_SIZES = (10240, 18432)
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """Timings of one ``(device, N)`` sweep across backends."""
+
+    device: str
+    n: int
+    configs: int
+    scalar_s: float
+    parallel_s: float | None
+    vectorized_s: float
+    max_rel_deviation: float
+    jobs: int
+
+    @property
+    def speedup_vectorized(self) -> float:
+        return self.scalar_s / self.vectorized_s
+
+    @property
+    def speedup_parallel(self) -> float | None:
+        if self.parallel_s is None:
+            return None
+        return self.scalar_s / self.parallel_s
+
+    def as_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "n": self.n,
+            "configs": self.configs,
+            "scalar_s": self.scalar_s,
+            "parallel_s": self.parallel_s,
+            "vectorized_s": self.vectorized_s,
+            "speedup_parallel": self.speedup_parallel,
+            "speedup_vectorized": self.speedup_vectorized,
+            "max_rel_deviation": self.max_rel_deviation,
+            "jobs": self.jobs,
+        }
+
+
+def _clear_sweep_memo() -> None:
+    """Reset the per-(N, BS, G) memo caches (see module docstring)."""
+    from repro.simgpu.kernel import matmul_kernel_resources
+    from repro.simgpu.memhier import matmul_traffic
+
+    matmul_kernel_resources.cache_clear()
+    matmul_traffic.cache_clear()
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        _clear_sweep_memo()
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_case(
+    device: str, n: int, *, repeats: int, jobs: int, parallel: bool
+) -> BenchmarkCase:
+    from repro.apps.matmul_gpu import MatmulGPUApp
+    from repro.machines import get_machine
+    from repro.simgpu.batch import evaluate_configs_batch
+    from repro.sweep.engine import SweepEngine
+    from repro.sweep.plan import SweepRequest
+    from repro.sweep.worker import evaluate_chunk
+
+    spec = get_machine(device)
+    app = MatmulGPUApp(spec)
+    cal = app.device.cal
+    configs = app.sweep_configs()
+
+    scalar = evaluate_chunk(spec, cal, n, configs)
+    vectorized = evaluate_configs_batch(spec, cal, n, configs)
+    max_dev = max(
+        max(
+            abs(v[0] - s[0]) / s[0],
+            abs(v[1] - s[1]) / s[1],
+        )
+        for s, v in zip(scalar, vectorized)
+    )
+
+    scalar_s = _best_of(
+        lambda: evaluate_chunk(spec, cal, n, configs), repeats
+    )
+    vectorized_s = _best_of(
+        lambda: evaluate_configs_batch(spec, cal, n, configs), repeats
+    )
+    parallel_s = None
+    if parallel:
+        request = SweepRequest(device=spec, n=n, cal=cal)
+
+        def run_parallel() -> None:
+            SweepEngine(jobs=jobs).evaluate_configs(request, configs)
+
+        parallel_s = _best_of(run_parallel, repeats)
+
+    return BenchmarkCase(
+        device=device,
+        n=n,
+        configs=len(configs),
+        scalar_s=scalar_s,
+        parallel_s=parallel_s,
+        vectorized_s=vectorized_s,
+        max_rel_deviation=max_dev,
+        jobs=jobs,
+    )
+
+
+def run_benchmark(
+    *,
+    device: str = "p100",
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    repeats: int = 5,
+    jobs: int | None = None,
+    parallel: bool = True,
+) -> dict:
+    """Run the backend benchmark; returns the BENCH_sweep.json document."""
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    if jobs is None:
+        jobs = min(8, os.cpu_count() or 1)
+    cases = [
+        _bench_case(device, n, repeats=repeats, jobs=jobs, parallel=parallel)
+        for n in sizes
+    ]
+    return {
+        "version": BENCH_VERSION,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "cpus": os.cpu_count(),
+        },
+        "repeats": repeats,
+        "cases": [c.as_dict() for c in cases],
+    }
+
+
+def format_results(doc: dict) -> str:
+    """Human-readable table of a benchmark document."""
+    from repro.analysis.report import format_table
+
+    rows = []
+    for c in doc["cases"]:
+        par = (
+            f"{c['parallel_s'] * 1e3:.2f} ({c['speedup_parallel']:.1f}x)"
+            if c["parallel_s"] is not None
+            else "-"
+        )
+        rows.append(
+            (
+                c["device"],
+                c["n"],
+                c["configs"],
+                f"{c['scalar_s'] * 1e3:.2f}",
+                par,
+                f"{c['vectorized_s'] * 1e3:.2f} "
+                f"({c['speedup_vectorized']:.1f}x)",
+                f"{c['max_rel_deviation']:.1e}",
+            )
+        )
+    return format_table(
+        [
+            "device",
+            "N",
+            "configs",
+            "scalar (ms)",
+            "parallel (ms)",
+            "vectorized (ms)",
+            "max rel dev",
+        ],
+        rows,
+    )
+
+
+def add_bench_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the ``repro bench`` flags on ``parser``."""
+    parser.add_argument(
+        "--device", choices=("k40c", "p100"), default="p100"
+    )
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),
+        metavar="N", help="matrix sizes to sweep (default: 10240 18432)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repeats per backend; wall-clock is the minimum",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="workers for the parallel case (default: min(8, cpus))",
+    )
+    parser.add_argument(
+        "--no-parallel", action="store_true",
+        help="skip the process-pool case (pool startup dominates it "
+             "on small machines)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repeat, no parallel case — the CI smoke settings",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_sweep.json", metavar="FILE",
+        help="where to write the JSON document (default BENCH_sweep.json)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Run the benchmark from parsed flags; returns the exit code.
+
+    Non-zero if the vectorized backend is slower than the serial scalar
+    path on any case — the benchmark doubles as a perf regression gate
+    (CI runs it with ``--quick``).
+    """
+    doc = run_benchmark(
+        device=args.device,
+        sizes=args.sizes,
+        repeats=1 if args.quick else args.repeats,
+        jobs=args.jobs,
+        parallel=not (args.no_parallel or args.quick),
+    )
+    Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
+    print(format_results(doc))
+    print(f"\nwrote {args.output}")
+
+    slow = [
+        c for c in doc["cases"] if c["speedup_vectorized"] < 1.0
+    ]
+    if slow:
+        worst = min(c["speedup_vectorized"] for c in slow)
+        print(
+            f"FAIL: vectorized backend slower than scalar "
+            f"({worst:.2f}x) — perf regression",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``tools/bench_sweep.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Time scalar vs parallel vs vectorized sweep backends",
+    )
+    add_bench_flags(parser)
+    return run_from_args(parser.parse_args(argv))

@@ -46,8 +46,19 @@ def sweep_key(
     cal: GPUCalibration,
     n: int,
     config: dict[str, int],
+    *,
+    backend: str = "scalar",
 ) -> str:
-    """SHA-256 content key of one ``(device, N, config)`` sweep point."""
+    """SHA-256 content key of one ``(device, N, config)`` sweep point.
+
+    ``backend`` names the execution path that computed the point.  The
+    scalar reference path is the identity of the cache — its keys (and
+    every existing cache entry and golden snapshot) are unchanged — so
+    ``"scalar"`` adds nothing to the payload.  Any other backend is
+    mixed into the key: its results agree with the reference only to a
+    parity tolerance, and must never be served where reference values
+    were requested (or vice versa).
+    """
     payload = {
         "model_version": MODEL_VERSION,
         "spec": dataclasses.asdict(spec),
@@ -55,4 +66,6 @@ def sweep_key(
         "n": int(n),
         "config": {k: int(v) for k, v in sorted(config.items())},
     }
+    if backend != "scalar":
+        payload["backend"] = backend
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

@@ -41,6 +41,52 @@ class TestEngineFlags:
         with pytest.raises(SystemExit, match="--jobs"):
             main(["experiment", "fig7", "--jobs", "0"])
 
+    def test_backend_defaults_to_scalar(self):
+        assert build_parser().parse_args(["sweep"]).backend == "scalar"
+
+    def test_backend_accepts_vectorized(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig8", "--backend", "vectorized"]
+        )
+        assert args.backend == "vectorized"
+
+    def test_unknown_backend_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["sweep", "--backend", "cuda"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        assert "invalid choice: 'cuda'" in capsys.readouterr().err
+
+    def test_vectorized_sweep_output_matches_scalar(self, capsys):
+        assert main(["sweep", "--device", "p100", "--n", "4096"]) == 0
+        scalar = capsys.readouterr().out
+        assert main(
+            ["sweep", "--device", "p100", "--n", "4096",
+             "--backend", "vectorized"]
+        ) == 0
+        # Front membership and the printed (3-decimal) objectives agree.
+        assert capsys.readouterr().out == scalar
+
+
+class TestBenchCommand:
+    def test_bench_quick_writes_document(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_sweep.json"
+        assert main(
+            ["bench", "--quick", "--sizes", "1024",
+             "--output", str(out)]
+        ) == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["version"] == "repro-bench/1"
+        (case,) = doc["cases"]
+        assert case["device"] == "p100" and case["n"] == 1024
+        assert case["configs"] == 146
+        assert case["max_rel_deviation"] <= 1e-9
+        assert case["vectorized_s"] > 0 and case["scalar_s"] > 0
+        assert case["parallel_s"] is None  # --quick skips the pool
+        assert "speedup_vectorized" in case
+        assert "vectorized" in capsys.readouterr().out
+
     def test_sweep_with_cache_dir_populates_cache(self, tmp_path, capsys):
         cache = tmp_path / "sweeps"
         assert main(

@@ -18,6 +18,8 @@ import pytest
 from repro.core.pareto import (
     ParetoPoint,
     dominates,
+    epsilon_pareto_front,
+    hypervolume_2d,
     local_pareto_front,
     nondominated_sort,
     pareto_front,
@@ -137,3 +139,118 @@ class TestDerivedFrontProperties:
             for earlier in layers[:k]:
                 for p in layer:
                     assert not any(dominates(p, q) for q in earlier)
+
+    def test_nondominated_sort_matches_peeling_oracle(self, seed):
+        """The single-sort staircase equals repeated front peeling —
+        layer by layer, identical member identity and order."""
+        cloud = random_cloud(seed)
+        remaining = cloud[:]
+        expected = []
+        while remaining:
+            front = pareto_front(remaining)
+            expected.append(front)
+            ids = {id(p) for p in front}
+            remaining = [p for p in remaining if id(p) not in ids]
+        got = nondominated_sort(cloud)
+        assert [[id(p) for p in layer] for layer in got] == [
+            [id(p) for p in layer] for layer in expected
+        ]
+
+
+def epsilon_front_oracle(
+    points: list[ParetoPoint], epsilon: float
+) -> list[ParetoPoint]:
+    """Quadratic greedy reference for the ε-approximate front."""
+    front = pareto_front(points)
+    kept: list[ParetoPoint] = []
+    scale = 1.0 + epsilon
+    for p in front:
+        covered = any(
+            s.time_s <= scale * p.time_s and s.energy_j <= scale * p.energy_j
+            for s in kept
+        )
+        if not covered:
+            kept.append(p)
+    return kept
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestEpsilonFrontAgainstFront:
+    """ε-front properties relative to the O(n log n) exact front."""
+
+    EPSILONS = (0.0, 0.05, 0.3, 1.5)
+
+    def test_matches_quadratic_oracle(self, seed):
+        cloud = random_cloud(seed)
+        for eps in self.EPSILONS:
+            got = epsilon_pareto_front(cloud, eps)
+            assert [id(p) for p in got] == [
+                id(p) for p in epsilon_front_oracle(cloud, eps)
+            ]
+
+    def test_zero_epsilon_is_exact_front(self, seed):
+        cloud = random_cloud(seed)
+        assert epsilon_pareto_front(cloud, 0.0) == pareto_front(cloud)
+
+    def test_subset_of_front_and_covering(self, seed):
+        cloud = random_cloud(seed)
+        front = pareto_front(cloud)
+        ids = {id(p) for p in front}
+        for eps in self.EPSILONS:
+            kept = epsilon_pareto_front(cloud, eps)
+            assert all(id(p) in ids for p in kept)
+            scale = 1.0 + eps
+            for p in front:  # every front point is (1+ε)-dominated
+                assert any(
+                    s.time_s <= scale * p.time_s
+                    and s.energy_j <= scale * p.energy_j
+                    for s in kept
+                )
+
+    def test_monotone_in_epsilon(self, seed):
+        cloud = random_cloud(seed)
+        sizes = [
+            len(epsilon_pareto_front(cloud, eps)) for eps in self.EPSILONS
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestHypervolumeAgainstFront:
+    """Hypervolume consistency with the O(n log n) front extraction."""
+
+    def reference(self, cloud):
+        return (
+            max(p.time_s for p in cloud) * 1.1 + 1.0,
+            max(p.energy_j for p in cloud) * 1.1 + 1.0,
+        )
+
+    def test_front_carries_all_hypervolume(self, seed):
+        """Dominated points contribute nothing: the front's hypervolume
+        equals the whole cloud's."""
+        cloud = random_cloud(seed)
+        ref = self.reference(cloud)
+        assert hypervolume_2d(pareto_front(cloud), ref) == pytest.approx(
+            hypervolume_2d(cloud, ref)
+        )
+
+    def test_epsilon_front_never_gains_hypervolume(self, seed):
+        cloud = random_cloud(seed)
+        ref = self.reference(cloud)
+        full = hypervolume_2d(pareto_front(cloud), ref)
+        for eps in (0.0, 0.05, 0.3, 1.5):
+            kept = epsilon_pareto_front(cloud, eps)
+            hv = hypervolume_2d(kept, ref)
+            # A subset of the front can only lose dominated area (and
+            # at ε=0 it loses none).
+            assert hv <= full + 1e-12
+            if eps == 0.0:
+                assert hv == pytest.approx(full)
+
+    def test_rank0_layer_hypervolume_equals_front(self, seed):
+        cloud = random_cloud(seed)
+        ref = self.reference(cloud)
+        layers = nondominated_sort(cloud)
+        assert hypervolume_2d(layers[0], ref) == pytest.approx(
+            hypervolume_2d(pareto_front(cloud), ref)
+        )

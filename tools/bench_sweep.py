@@ -1,0 +1,24 @@
+"""Standalone runner for the sweep-backend benchmark.
+
+Equivalent to ``python -m repro bench``; kept as a script so the
+benchmark can run from a checkout without installing the package:
+
+    PYTHONPATH=src python tools/bench_sweep.py [--quick] [--output FILE]
+
+Times the serial scalar reference, the process-pool parallel path and
+the NumPy-vectorized batch backend on the paper's P100 sweeps, writes
+``BENCH_sweep.json``, and exits non-zero if the vectorized backend is
+slower than scalar (perf regression gate).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.sweep.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())
