@@ -1,57 +1,54 @@
-"""Higher-level EP analysis pipelines and report formatting."""
+"""Higher-level EP analysis pipelines and report formatting.
 
-from repro.analysis.comparison import (
-    ComparisonResult,
-    MethodReading,
-    compare_cpu_methods,
-    compare_gpu_methods,
-)
-from repro.analysis.asciiplot import Series, scatter_plot
-from repro.analysis.front_quality import (
-    additive_epsilon,
-    igd,
-    normalized_objectives,
-)
-from repro.analysis.measured import measured_gpu_sweep
-from repro.analysis.nonfunctionality import (
-    NonfunctionalityVerdict,
-    nonfunctionality_test,
-)
-from repro.analysis.ep_analysis import (
-    StrongEPStudy,
-    WeakEPStudy,
-    strong_ep_study,
-    weak_ep_study,
-)
-from repro.analysis.summary import ReportSection, generate_report
-from repro.analysis.report import (
-    format_pct,
-    format_series,
-    format_table,
-    paper_vs_measured,
-)
+Exports resolve lazily (PEP 562): ``from repro.analysis import
+format_table`` imports only :mod:`repro.analysis.report`, not the
+whole package.  This keeps NumPy-only paths (the sweep benchmark in
+minimal CI environments, the planner fill path) importable without
+the SciPy-dependent analysis modules.
+"""
 
-__all__ = [
-    "ComparisonResult",
-    "MethodReading",
-    "compare_cpu_methods",
-    "compare_gpu_methods",
-    "Series",
-    "scatter_plot",
-    "additive_epsilon",
-    "igd",
-    "normalized_objectives",
-    "measured_gpu_sweep",
-    "NonfunctionalityVerdict",
-    "nonfunctionality_test",
-    "StrongEPStudy",
-    "WeakEPStudy",
-    "strong_ep_study",
-    "weak_ep_study",
-    "ReportSection",
-    "generate_report",
-    "format_pct",
-    "format_series",
-    "format_table",
-    "paper_vs_measured",
-]
+from __future__ import annotations
+
+import importlib
+
+#: Exported name -> defining submodule.
+_EXPORTS = {
+    "ComparisonResult": "comparison",
+    "MethodReading": "comparison",
+    "compare_cpu_methods": "comparison",
+    "compare_gpu_methods": "comparison",
+    "Series": "asciiplot",
+    "scatter_plot": "asciiplot",
+    "additive_epsilon": "front_quality",
+    "igd": "front_quality",
+    "normalized_objectives": "front_quality",
+    "measured_gpu_sweep": "measured",
+    "NonfunctionalityVerdict": "nonfunctionality",
+    "nonfunctionality_test": "nonfunctionality",
+    "StrongEPStudy": "ep_analysis",
+    "WeakEPStudy": "ep_analysis",
+    "strong_ep_study": "ep_analysis",
+    "weak_ep_study": "ep_analysis",
+    "ReportSection": "summary",
+    "generate_report": "summary",
+    "format_pct": "report",
+    "format_series": "report",
+    "format_table": "report",
+    "paper_vs_measured": "report",
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name: str):
+    submodule = _EXPORTS.get(name)
+    if submodule is not None:
+        module = importlib.import_module(f"{__name__}.{submodule}")
+        value = getattr(module, name)
+        globals()[name] = value  # cache: subsequent access skips here
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -12,15 +12,23 @@ custom workload, without writing code:
   point cloud, the Pareto front, and the trade-off table;
 * ``tradeoff`` — answer "how much energy can I save within an X%
   slowdown budget?" for a workload;
+* ``all`` — run the whole sweep-driven figure set through one
+  cross-experiment planner: every request is collected up front,
+  deduplicated, partitioned against the columnar store, and the
+  misses filled in vectorized mega-batches (see
+  :mod:`repro.sweep.planner`);
 * ``machines`` — list the platform registry;
 * ``bench`` — time the scalar / parallel / vectorized sweep backends
-  and write ``BENCH_sweep.json``;
+  and the planner session path, and write ``BENCH_sweep.json``;
+* ``cache migrate`` — convert a JSON point cache into a columnar
+  store losslessly;
 * ``report`` — run everything and write a single markdown report.
 
 The sweep-driven commands (``experiment``, ``sweep``) accept
 ``--jobs`` (process-pool parallelism), ``--backend`` (``scalar`` or
 ``vectorized`` evaluation), ``--cache-dir`` and ``--no-cache`` (the
-persistent sweep-point cache; see :mod:`repro.sweep`).
+persistent per-point JSON cache) or ``--store-dir`` (the columnar
+shard store; see :mod:`repro.sweep`).
 """
 
 from __future__ import annotations
@@ -89,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-cache", action="store_true",
             help="disable the sweep cache even if $REPRO_CACHE_DIR is set",
         )
+        p.add_argument(
+            "--store-dir", default=None, metavar="DIR",
+            help=(
+                "columnar sweep store directory (shard-level .npz "
+                "persistence; mutually exclusive with --cache-dir)"
+            ),
+        )
 
     exp = sub.add_parser(
         "experiment", help="regenerate one paper artifact"
@@ -130,7 +145,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerated slowdown in percent",
     )
 
+    run_all = sub.add_parser(
+        "all",
+        help=(
+            "run the full sweep-driven figure set through one "
+            "cross-experiment planner"
+        ),
+    )
+    run_all.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help=(
+            "columnar store directory (default: $REPRO_STORE_DIR if "
+            "set, else in-memory for this run only)"
+        ),
+    )
+    run_all.add_argument(
+        "--backend", choices=("scalar", "vectorized"),
+        default="vectorized",
+        help=(
+            "fill backend for store misses (default vectorized: one "
+            "NumPy mega-batch per device/size group)"
+        ),
+    )
+
     sub.add_parser("machines", help="list the platform registry")
+
+    cache = sub.add_parser(
+        "cache", help="manage the persistent sweep result stores"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    migrate = cache_sub.add_parser(
+        "migrate",
+        help="convert a JSON point cache into a columnar store",
+    )
+    migrate.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="source JSON cache directory (left untouched)",
+    )
+    migrate.add_argument(
+        "--store-dir", required=True, metavar="DIR",
+        help="destination columnar store directory",
+    )
 
     from repro.sweep.bench import add_bench_flags
 
@@ -156,8 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
 def _build_engine(args: argparse.Namespace):
     """Construct the SweepEngine the sweep-driven commands share.
 
-    Cache resolution: ``--no-cache`` wins, then ``--cache-dir``, then
-    the ``REPRO_CACHE_DIR`` environment variable, else no cache.
+    Persistence resolution: ``--store-dir`` attaches the columnar
+    store (and is mutually exclusive with the JSON cache flags);
+    otherwise ``--no-cache`` wins, then ``--cache-dir``, then the
+    ``REPRO_CACHE_DIR`` environment variable, else no cache.
     """
     import os
 
@@ -165,11 +222,17 @@ def _build_engine(args: argparse.Namespace):
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be at least 1")
+    store_dir = getattr(args, "store_dir", None)
+    if store_dir is not None and args.cache_dir is not None:
+        raise SystemExit("--store-dir and --cache-dir are mutually exclusive")
     cache_dir = None
-    if not args.no_cache:
+    if store_dir is None and not args.no_cache:
         cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
     return SweepEngine(
-        jobs=args.jobs, cache_dir=cache_dir, backend=args.backend
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        store_dir=store_dir,
+        backend=args.backend,
     )
 
 
@@ -236,6 +299,49 @@ def _run_experiment(exp_id: str, engine=None) -> str:
     if exp_id == "energy-model":
         return gpu_energy_model.run().render()
     raise AssertionError(f"unhandled experiment {exp_id!r}")
+
+
+def _run_all(store_dir: str | None, backend: str) -> str:
+    """Run every sweep-driven experiment through one planner session.
+
+    All requests are collected and executed *before* any experiment
+    runs, so each experiment's sweeps are pure store lookups; the
+    planner stats at the end show the dedup the session bought.
+    """
+    import os
+
+    from repro.sweep.planner import (
+        SESSION_EXPERIMENTS,
+        EvalPlanner,
+        collect_session_requests,
+    )
+
+    if store_dir is None:
+        store_dir = os.environ.get("REPRO_STORE_DIR")
+    planner = EvalPlanner(store_dir=store_dir, backend=backend)
+    planner.add_all(collect_session_requests())
+    planner.execute()
+
+    out = []
+    for exp_id in SESSION_EXPERIMENTS:
+        out.append(f"== {exp_id} ==")
+        out.append(_run_experiment(exp_id, engine=planner))
+        out.append("")
+    s = planner.stats
+    out.append(
+        f"planner session: {s.requested} points requested, "
+        f"{s.unique_points} unique (dedup {s.dedup_ratio:.2f}x), "
+        f"{s.store_hits} store hits, {s.computed} computed in "
+        f"{s.batches} batches"
+    )
+    return "\n".join(out)
+
+
+def _run_cache_migrate(cache_dir: str, store_dir: str) -> str:
+    from repro.store import migrate_json_cache
+
+    report = migrate_json_cache(cache_dir, store_dir)
+    return report.render()
 
 
 def _get_gpu(name: str):
@@ -381,8 +487,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_run_front(args.file))
     elif args.command == "tradeoff":
         print(_run_tradeoff(args.device, args.n, args.budget))
+    elif args.command == "all":
+        print(_run_all(args.store_dir, args.backend))
     elif args.command == "machines":
         print(_run_machines())
+    elif args.command == "cache":
+        if args.cache_command == "migrate":
+            print(_run_cache_migrate(args.cache_dir, args.store_dir))
+        else:  # pragma: no cover - argparse enforces choices
+            raise AssertionError(args.cache_command)
     elif args.command == "bench":
         from repro.sweep.bench import run_from_args
 

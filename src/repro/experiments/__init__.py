@@ -1,29 +1,23 @@
 """One module per paper figure/table (see DESIGN.md for the index).
 
 Each module exposes ``run(...) -> Result`` where the result renders
-itself as the rows/series the paper reports via ``.render()``.
+itself as the rows/series the paper reports via ``.render()``; the
+sweep-driven experiments additionally expose ``requests()`` — the
+:class:`repro.sweep.plan.SweepRequest` list they will make — so the
+cross-experiment planner (:mod:`repro.sweep.planner`) can collect and
+deduplicate a whole session up front.
+
+Submodules load lazily (PEP 562): ``from repro.experiments import
+headline`` imports only that module and its dependencies.  This keeps
+CLI startup proportional to what a command touches and lets
+SciPy-free tooling (the benchmark harness in minimal CI environments)
+use the sweep-driven experiments, whose module-level imports are
+NumPy-only, without dragging in the SciPy-dependent modules.
 """
 
-from repro.experiments import (
-    ablation,
-    budgeted_search,
-    dvfs_comparison,
-    ep_metrics_study,
-    fig1_strong_ep,
-    fig2_p100_n18432,
-    fig3_decomposition,
-    fig4_cpu_utilization,
-    fig5_source,
-    fig6_additivity,
-    fig7_k40c_pareto,
-    fig8_p100_pareto,
-    gpu_energy_model,
-    headline,
-    matmul_strong_ep,
-    measurement_methods,
-    sensitivity,
-    table1_specs,
-)
+from __future__ import annotations
+
+import importlib
 
 __all__ = [
     "ablation",
@@ -45,3 +39,15 @@ __all__ = [
     "headline",
     "matmul_strong_ep",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        module = importlib.import_module(f"{__name__}.{name}")
+        globals()[name] = module  # cache: subsequent access skips here
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

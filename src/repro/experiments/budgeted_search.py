@@ -27,7 +27,19 @@ from repro.machines.specs import GPUSpec, P100
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine
 
-__all__ = ["BudgetRow", "BudgetedSearchResult", "run"]
+__all__ = ["BudgetRow", "BudgetedSearchResult", "run", "requests"]
+
+
+def requests(spec: GPUSpec = P100, n: int = 10240):
+    """The sweep requests this experiment will make (planner protocol).
+
+    The greedy search probes configurations from the *full* space
+    (``min_bs=1``, not the sweep default BS ≥ 4), so the request covers
+    every point the exhaustive pass or any probe can touch.
+    """
+    from repro.sweep.plan import SweepRequest
+
+    return (SweepRequest(device=spec, n=n, min_bs=1),)
 
 
 @dataclass(frozen=True)

@@ -25,10 +25,17 @@ from repro.machines.specs import P100
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine
 
-__all__ = ["Fig2Result", "run", "monotone_fraction"]
+__all__ = ["Fig2Result", "run", "requests", "monotone_fraction"]
 
 #: The paper's workload for this figure.
 N_PAPER = 18432
+
+
+def requests(n: int = N_PAPER):
+    """The sweep requests this experiment will make (planner protocol)."""
+    from repro.sweep.plan import SweepRequest
+
+    return (SweepRequest(device=P100, n=n),)
 
 
 def monotone_fraction(points: list[ParetoPoint]) -> float:

@@ -29,10 +29,17 @@ from repro.machines.specs import K40C
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine
 
-__all__ = ["Fig7Result", "run", "LOCAL_REGION_MAX_BS"]
+__all__ = ["Fig7Result", "run", "requests", "LOCAL_REGION_MAX_BS"]
 
 #: The paper's figure sizes.
 PAPER_SIZES = (8704, 10240)
+
+
+def requests(sizes: tuple[int, ...] = PAPER_SIZES):
+    """The sweep requests this experiment will make (planner protocol)."""
+    from repro.sweep.plan import SweepRequest
+
+    return tuple(SweepRequest(device=K40C, n=n) for n in sizes)
 
 #: The local nonproportionality region: everything below the global
 #: optimum's tile dimension.

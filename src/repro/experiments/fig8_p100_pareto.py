@@ -30,10 +30,17 @@ from repro.machines.specs import P100
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine
 
-__all__ = ["Fig8Result", "run", "PAPER_SIZES"]
+__all__ = ["Fig8Result", "run", "requests", "PAPER_SIZES"]
 
 #: The paper's figure sizes.
 PAPER_SIZES = (10240, 14336)
+
+
+def requests(sizes: tuple[int, ...] = PAPER_SIZES):
+    """The sweep requests this experiment will make (planner protocol)."""
+    from repro.sweep.plan import SweepRequest
+
+    return tuple(SweepRequest(device=P100, n=n) for n in sizes)
 
 
 @dataclass(frozen=True)

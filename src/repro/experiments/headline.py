@@ -29,13 +29,26 @@ from repro.machines.specs import GPUSpec, K40C, P100
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine
 
-__all__ = ["DeviceHeadline", "HeadlineResult", "run", "DEFAULT_SIZES"]
+__all__ = ["DeviceHeadline", "HeadlineResult", "run", "requests", "DEFAULT_SIZES"]
 
 #: Workload ranges per device ("a wide range of workloads").
 DEFAULT_SIZES: dict[str, tuple[int, ...]] = {
     "k40c": (5120, 6144, 8192, 8704, 10240, 12288),
     "p100": (5120, 6144, 8192, 10240, 12288, 14336, 15360, 18432),
 }
+
+
+def requests(sizes: dict[str, tuple[int, ...]] | None = None):
+    """The sweep requests this experiment will make (planner protocol)."""
+    from repro.sweep.plan import SweepRequest
+
+    if sizes is None:
+        sizes = DEFAULT_SIZES
+    return tuple(
+        SweepRequest(device=device, n=n)
+        for device in ("k40c", "p100")
+        for n in sizes[device]
+    )
 
 
 @dataclass(frozen=True)

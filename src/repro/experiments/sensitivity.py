@@ -47,6 +47,26 @@ PERTURBED_CONSTANTS: tuple[str, ...] = (
 FACTORS = (0.8, 1.2)
 
 
+def requests(n: int = 10240):
+    """The sweep requests this experiment will make (planner protocol).
+
+    One request per perturbed calibration and device; the perturbed
+    calibrations flow into the shard identity, so the planner keeps
+    each perturbation's points separate from the reference model's.
+    """
+    from repro.sweep.plan import SweepRequest
+
+    reqs = []
+    for name in PERTURBED_CONSTANTS:
+        for factor in FACTORS:
+            for spec, cal in ((K40C, K40C_CAL), (P100, P100_CAL)):
+                perturbed = dataclasses.replace(
+                    cal, **{name: getattr(cal, name) * factor}
+                )
+                reqs.append(SweepRequest(device=spec, n=n, cal=perturbed))
+    return tuple(reqs)
+
+
 @dataclass(frozen=True)
 class SensitivityRow:
     constant: str

@@ -1,0 +1,450 @@
+"""Columnar ``.npz`` shard store keyed by sweep-point identity.
+
+Layout: one shard file per :func:`repro.sweep.keys.shard_digest`
+identity — device spec, calibration, matrix size, model version and
+execution backend — under the store root, plus an advisory index::
+
+    <root>/<device>-n<N>-<backend>-<digest16>.npz
+    <root>/manifest.json
+
+A shard holds the full column set of one sweep's points: the packed
+``(BS, G, R)`` configuration keys (sorted, unique) and the ``time_s``
+/ ``energy_j`` objective columns.  Because the filename is derived
+from the content digest, the manifest is *advisory* — it powers
+inspection and stats, but lookups never depend on it, so a stale or
+corrupted manifest can degrade tooling output, never correctness.
+
+Durability contract (same as the JSON point cache): every write goes
+through a temp file + ``os.replace``, so an interrupted run never
+leaves a half-written shard under its final name; a corrupted or
+truncated shard is treated as empty and recomputed, and the next
+append overwrites it.  Appends re-read the shard from disk before
+merging, so two concurrent writers converge on the union of their
+rows except for a benign last-write-wins race window (the loser's
+rows read as misses and are recomputed — values are deterministic, so
+nothing can diverge).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+from repro.sweep.keys import MODEL_VERSION, shard_digest
+
+__all__ = [
+    "SHARD_FORMAT",
+    "MANIFEST_FORMAT",
+    "ShardKey",
+    "ColumnarStore",
+    "shard_key",
+    "pack_config",
+    "pack_configs",
+    "unpack_config",
+]
+
+SHARD_FORMAT = "repro-sweep-store/1"
+MANIFEST_FORMAT = "repro-sweep-store-manifest/1"
+MANIFEST_NAME = "manifest.json"
+
+#: Bits per packed (BS, G, R) field.  2^21 comfortably covers every
+#: admissible value (BS ≤ 32, G ≤ 8, R ≤ total_products) while keeping
+#: the packed key inside exact int64 range.
+_FIELD_BITS = 21
+_FIELD_MAX = (1 << _FIELD_BITS) - 1
+
+
+def pack_config(bs: int, g: int, r: int) -> int:
+    """Pack one ``(BS, G, R)`` configuration into a sortable int64."""
+    if not (0 < bs <= _FIELD_MAX and 0 < g <= _FIELD_MAX and 0 < r <= _FIELD_MAX):
+        raise ValueError(
+            f"(bs={bs}, g={g}, r={r}) outside the packable range "
+            f"1..{_FIELD_MAX}"
+        )
+    return (bs << (2 * _FIELD_BITS)) | (g << _FIELD_BITS) | r
+
+
+def pack_configs(configs) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized :func:`pack_config` over a config sequence.
+
+    ``configs`` is any sequence of objects with ``bs``/``g``/``r``
+    attributes; returns ``(packed, bs, g, r)`` int64 arrays aligned
+    with the input order.
+    """
+    count = len(configs)
+    bs = np.fromiter((c.bs for c in configs), dtype=np.int64, count=count)
+    g = np.fromiter((c.g for c in configs), dtype=np.int64, count=count)
+    r = np.fromiter((c.r for c in configs), dtype=np.int64, count=count)
+    if count and not (
+        0 < bs.min() and bs.max() <= _FIELD_MAX
+        and 0 < g.min() and g.max() <= _FIELD_MAX
+        and 0 < r.min() and r.max() <= _FIELD_MAX
+    ):
+        raise ValueError(f"configuration outside the packable range 1..{_FIELD_MAX}")
+    packed = (bs << (2 * _FIELD_BITS)) | (g << _FIELD_BITS) | r
+    return packed, bs, g, r
+
+
+def unpack_config(packed: int) -> tuple[int, int, int]:
+    """Invert :func:`pack_config`; returns ``(bs, g, r)``."""
+    p = int(packed)
+    return (
+        p >> (2 * _FIELD_BITS),
+        (p >> _FIELD_BITS) & _FIELD_MAX,
+        p & _FIELD_MAX,
+    )
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "-", name.lower()).strip("-") or "device"
+
+
+@dataclass(frozen=True)
+class ShardKey:
+    """Identity of one shard: ``(device, n, model_version, backend)``.
+
+    ``digest`` is :func:`repro.sweep.keys.shard_digest` over the full
+    spec + calibration payload, so two calibrations of the same device
+    (e.g. the sensitivity study's perturbations) live in distinct
+    shards even though their nominal key fields match.
+    """
+
+    device: str
+    n: int
+    model_version: str
+    backend: str
+    digest: str
+
+    @property
+    def filename(self) -> str:
+        return (
+            f"{_slug(self.device)}-n{self.n}-{self.backend}-"
+            f"{self.digest[:16]}.npz"
+        )
+
+
+def shard_key(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    n: int,
+    *,
+    backend: str = "scalar",
+) -> ShardKey:
+    """The :class:`ShardKey` of one device/size/calibration/backend."""
+    return ShardKey(
+        device=spec.name,
+        n=int(n),
+        model_version=MODEL_VERSION,
+        backend=backend,
+        digest=shard_digest(spec, cal, n, backend=backend),
+    )
+
+
+@dataclass
+class _Shard:
+    """In-memory columns of one loaded shard (packed keys sorted unique)."""
+
+    packed: np.ndarray
+    bs: np.ndarray
+    g: np.ndarray
+    r: np.ndarray
+    time_s: np.ndarray
+    energy_j: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.packed)
+
+
+_EMPTY = _Shard(
+    packed=np.empty(0, dtype=np.int64),
+    bs=np.empty(0, dtype=np.int64),
+    g=np.empty(0, dtype=np.int64),
+    r=np.empty(0, dtype=np.int64),
+    time_s=np.empty(0, dtype=np.float64),
+    energy_j=np.empty(0, dtype=np.float64),
+)
+
+#: Exceptions a torn/foreign/garbage shard file can raise on load.
+_LOAD_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
+
+
+class ColumnarStore:
+    """Shard-level columnar store of sweep points under one directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        #: Corrupt shard files observed by loads.
+        self.corrupt_shards = 0
+        self._shards: dict[str, _Shard] = {}
+
+    # -- paths --------------------------------------------------------------
+
+    def shard_path(self, key: ShardKey) -> Path:
+        return self.root / key.filename
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    # -- loading ------------------------------------------------------------
+
+    def _read_shard(self, key: ShardKey) -> _Shard:
+        """Load a shard from disk; a corrupt or absent file is empty."""
+        path = self.shard_path(key)
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                meta = json.loads(str(z["meta"][()]))
+                shard = _Shard(
+                    packed=np.asarray(z["packed"], dtype=np.int64),
+                    bs=np.asarray(z["bs"], dtype=np.int64),
+                    g=np.asarray(z["g"], dtype=np.int64),
+                    r=np.asarray(z["r"], dtype=np.int64),
+                    time_s=np.asarray(z["time_s"], dtype=np.float64),
+                    energy_j=np.asarray(z["energy_j"], dtype=np.float64),
+                )
+        except FileNotFoundError:
+            return _EMPTY
+        except _LOAD_ERRORS + (json.JSONDecodeError,):
+            self.corrupt_shards += 1
+            return _EMPTY
+        if not self._shard_is_sound(key, meta, shard):
+            self.corrupt_shards += 1
+            return _EMPTY
+        return shard
+
+    @staticmethod
+    def _shard_is_sound(key: ShardKey, meta: dict[str, Any], shard: _Shard) -> bool:
+        """Reject shards that cannot be trusted at this address."""
+        if not isinstance(meta, dict):
+            return False
+        if meta.get("format") != SHARD_FORMAT:
+            return False
+        # A file renamed/copied to the wrong address never lies, and a
+        # shard written by a different model version never leaks stale
+        # results (its digest differs, so its identity check fails).
+        if (
+            meta.get("digest") != key.digest
+            or meta.get("model_version") != key.model_version
+            or meta.get("backend") != key.backend
+            or meta.get("device") != key.device
+            or meta.get("n") != key.n
+        ):
+            return False
+        m = len(shard.packed)
+        if not all(
+            len(col) == m
+            for col in (shard.bs, shard.g, shard.r, shard.time_s, shard.energy_j)
+        ):
+            return False
+        if m and not (np.diff(shard.packed) > 0).all():
+            return False  # lookups require sorted unique keys
+        finite = np.isfinite(shard.time_s).all() and np.isfinite(shard.energy_j).all()
+        if not finite or (shard.time_s < 0).any() or (shard.energy_j < 0).any():
+            return False
+        return True
+
+    def _shard(self, key: ShardKey) -> _Shard:
+        shard = self._shards.get(key.digest)
+        if shard is None:
+            shard = self._read_shard(key)
+            self._shards[key.digest] = shard
+        return shard
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(
+        self, key: ShardKey, packed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Partition a packed-key request into hits and misses.
+
+        One vectorized pass: returns ``(time_s, energy_j, hit)`` arrays
+        aligned with ``packed``; miss lanes hold NaN objectives.
+        """
+        shard = self._shard(key)
+        m = len(packed)
+        times = np.full(m, np.nan)
+        energies = np.full(m, np.nan)
+        hit = np.zeros(m, dtype=bool)
+        if len(shard) and m:
+            pos = np.searchsorted(shard.packed, packed)
+            in_range = pos < len(shard)
+            pos_safe = np.where(in_range, pos, 0)
+            hit = in_range & (shard.packed[pos_safe] == packed)
+            times[hit] = shard.time_s[pos_safe[hit]]
+            energies[hit] = shard.energy_j[pos_safe[hit]]
+        return times, energies, hit
+
+    def shard_points(self, key: ShardKey) -> int:
+        """Number of points stored for one shard identity."""
+        return len(self._shard(key))
+
+    # -- writes -------------------------------------------------------------
+
+    def append(
+        self,
+        key: ShardKey,
+        bs: np.ndarray,
+        g: np.ndarray,
+        r: np.ndarray,
+        time_s: np.ndarray,
+        energy_j: np.ndarray,
+    ) -> int:
+        """Merge rows into a shard atomically; returns the new row count.
+
+        Existing rows win on duplicate configuration keys (values are
+        deterministic per identity, so the choice is cosmetic).  The
+        shard is re-read from disk before merging so rows appended by a
+        concurrent writer since our last load are preserved.
+        """
+        bs = np.asarray(bs, dtype=np.int64)
+        g = np.asarray(g, dtype=np.int64)
+        r = np.asarray(r, dtype=np.int64)
+        time_s = np.asarray(time_s, dtype=np.float64)
+        energy_j = np.asarray(energy_j, dtype=np.float64)
+        packed = (bs << (2 * _FIELD_BITS)) | (g << _FIELD_BITS) | r
+
+        current = self._read_shard(key)  # fresh: pick up concurrent rows
+        all_packed = np.concatenate([current.packed, packed])
+        # np.unique keeps the first occurrence per duplicate, i.e. the
+        # existing row; the result is sorted, which lookups require.
+        uniq, first = np.unique(all_packed, return_index=True)
+        merged = _Shard(
+            packed=uniq,
+            bs=np.concatenate([current.bs, bs])[first],
+            g=np.concatenate([current.g, g])[first],
+            r=np.concatenate([current.r, r])[first],
+            time_s=np.concatenate([current.time_s, time_s])[first],
+            energy_j=np.concatenate([current.energy_j, energy_j])[first],
+        )
+        self._write_shard(key, merged)
+        self._shards[key.digest] = merged
+        self._update_manifest(key, len(merged))
+        return len(merged)
+
+    def _write_shard(self, key: ShardKey, shard: _Shard) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(key)
+        meta = {
+            "format": SHARD_FORMAT,
+            "device": key.device,
+            "n": key.n,
+            "model_version": key.model_version,
+            "backend": key.backend,
+            "digest": key.digest,
+            "points": len(shard),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(
+                    fh,
+                    meta=np.array(json.dumps(meta)),
+                    packed=shard.packed,
+                    bs=shard.bs,
+                    g=shard.g,
+                    r=shard.r,
+                    time_s=shard.time_s,
+                    energy_j=shard.energy_j,
+                )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # -- manifest -----------------------------------------------------------
+
+    def _load_manifest(self) -> dict[str, Any]:
+        try:
+            doc = json.loads(self.manifest_path.read_text())
+        except FileNotFoundError:
+            return {"format": MANIFEST_FORMAT, "shards": {}}
+        except (OSError, json.JSONDecodeError):
+            return {"format": MANIFEST_FORMAT, "shards": {}}
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format") != MANIFEST_FORMAT
+            or not isinstance(doc.get("shards"), dict)
+        ):
+            return {"format": MANIFEST_FORMAT, "shards": {}}
+        return doc
+
+    def _update_manifest(self, key: ShardKey, points: int) -> None:
+        doc = self._load_manifest()
+        doc["shards"][key.digest] = {
+            "file": key.filename,
+            "device": key.device,
+            "n": key.n,
+            "model_version": key.model_version,
+            "backend": key.backend,
+            "points": points,
+        }
+        self._write_manifest(doc)
+
+    def _write_manifest(self, doc: dict[str, Any]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self.manifest_path.with_name(
+            f".{MANIFEST_NAME}.{os.getpid()}.tmp"
+        )
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def rebuild_manifest(self) -> dict[str, Any]:
+        """Regenerate the index from the shard files themselves.
+
+        Recovers from a lost or corrupted manifest (the shards are the
+        source of truth); unreadable shard files are skipped and
+        counted in :attr:`corrupt_shards`.
+        """
+        doc: dict[str, Any] = {"format": MANIFEST_FORMAT, "shards": {}}
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.npz")):
+                try:
+                    with np.load(path, allow_pickle=False) as z:
+                        meta = json.loads(str(z["meta"][()]))
+                        points = int(len(z["packed"]))
+                except _LOAD_ERRORS + (json.JSONDecodeError,):
+                    self.corrupt_shards += 1
+                    continue
+                if (
+                    not isinstance(meta, dict)
+                    or meta.get("format") != SHARD_FORMAT
+                    or "digest" not in meta
+                ):
+                    self.corrupt_shards += 1
+                    continue
+                doc["shards"][meta["digest"]] = {
+                    "file": path.name,
+                    "device": meta.get("device"),
+                    "n": meta.get("n"),
+                    "model_version": meta.get("model_version"),
+                    "backend": meta.get("backend"),
+                    "points": points,
+                }
+            self._write_manifest(doc)
+        return doc
+
+    def manifest(self) -> dict[str, Any]:
+        """The shard index; rebuilt from shard files when absent/corrupt."""
+        doc = self._load_manifest()
+        if (
+            not doc["shards"]
+            and self.root.is_dir()
+            and any(self.root.glob("*.npz"))
+        ):
+            doc = self.rebuild_manifest()
+        return doc
+
+    def __len__(self) -> int:
+        """Total points across all shards on disk."""
+        return sum(
+            int(entry.get("points", 0))
+            for entry in self.manifest()["shards"].values()
+        )

@@ -1,9 +1,10 @@
 """Backend benchmark for the sweep engine (``repro bench``).
 
-Times the three execution paths — serial scalar reference, process-pool
-parallel scalar, and NumPy-vectorized batch — on the paper's P100
-sweeps, and records the results as ``BENCH_sweep.json`` so the perf
-trajectory of the simulator is tracked in-repo.
+Times the execution paths — serial scalar reference, process-pool
+parallel scalar, NumPy-vectorized batch, and the cross-experiment
+planner over the columnar store — and records the results as
+``BENCH_sweep.json`` so the perf trajectory of the simulator is
+tracked in-repo.
 
 Methodology
 -----------
@@ -14,10 +15,28 @@ attached, so the measurement is pure evaluation:
 * ``scalar`` times :func:`repro.sweep.worker.evaluate_chunk` — the
   exact per-point call the serial engine path makes;
 * ``parallel`` times a ``jobs``-worker :class:`SweepEngine` end to end
-  (including pool startup — that is what a user pays);
+  with ``mode="parallel"`` forced (including pool startup — that is
+  what a user pays).  Each case also records ``auto_mode``: the path a
+  default ``mode="auto"`` engine actually chose for that grid, so the
+  document shows whether the auto heuristic would have paid the pool
+  cost (on the paper's 146-point grids it picks serial — see
+  :data:`repro.sweep.engine.PARALLEL_MIN_POINTS`);
 * ``vectorized`` times :func:`repro.simgpu.batch.evaluate_configs_batch`.
 
-Every case also records the maximum relative deviation of the
+The ``planner`` section benchmarks a whole *session* on an enlarged
+grid (both devices x sizes x total-products variants, with overlapping
+requests as real experiment sessions have):
+
+* ``per_experiment_s`` — one fresh scalar engine per request, no
+  cache: the per-experiment baseline path (how ``repro experiment``
+  ran each figure before the planner existed);
+* ``planner_cold_s`` — one :class:`repro.sweep.planner.EvalPlanner`
+  over an empty columnar store: dedup + vectorized mega-batch fill +
+  store append + serving every request as a structured table;
+* ``planner_warm_s`` — a fresh planner over the now-filled store:
+  pure vectorized shard lookups, zero evaluation.
+
+Every backend case also records the maximum relative deviation of the
 vectorized results from the scalar reference, so the reported speedup
 is always tied to the parity it was achieved at.  Wall-clock is the
 *minimum* over ``repeats`` runs (the standard noise-robust estimator).
@@ -39,6 +58,7 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -53,11 +73,21 @@ __all__ = [
     "main",
 ]
 
-#: Schema tag of the BENCH_sweep.json document.
-BENCH_VERSION = "repro-bench/1"
+#: Schema tag of the BENCH_sweep.json document.  ``/2`` added the
+#: per-case ``auto_mode`` field and the session-level ``planner``
+#: section.
+BENCH_VERSION = "repro-bench/2"
 
 #: The paper-scale P100 sweeps the benchmark times by default.
 DEFAULT_SIZES = (10240, 18432)
+
+#: Total-products variants of the planner session grid.  T=120 has far
+#: more ``(G, R)`` divisor pairs than the paper's T=24, enlarging the
+#: per-sweep configuration grid.
+PLANNER_PRODUCTS = (24, 120)
+
+#: Devices the planner session covers.
+PLANNER_DEVICES = ("k40c", "p100")
 
 
 @dataclass(frozen=True)
@@ -72,6 +102,9 @@ class BenchmarkCase:
     vectorized_s: float
     max_rel_deviation: float
     jobs: int
+    #: Path a ``mode="auto"`` engine chose for this grid ("serial" or
+    #: "process-pool").
+    auto_mode: str = "serial"
 
     @property
     def speedup_vectorized(self) -> float:
@@ -95,6 +128,7 @@ class BenchmarkCase:
             "speedup_vectorized": self.speedup_vectorized,
             "max_rel_deviation": self.max_rel_deviation,
             "jobs": self.jobs,
+            "auto_mode": self.auto_mode,
         }
 
 
@@ -148,12 +182,21 @@ def _bench_case(
     vectorized_s = _best_of(
         lambda: evaluate_configs_batch(spec, cal, n, configs), repeats
     )
+    request = SweepRequest(device=spec, n=n, cal=cal)
+
+    # What would mode="auto" have picked here?  Run one (untimed) auto
+    # engine and read the recorded path — honest accounting instead of
+    # re-deriving the heuristic.
+    auto_engine = SweepEngine(jobs=jobs)
+    auto_engine.evaluate_configs(request, configs)
+    auto_mode = auto_engine.stats.last_mode or "serial"
+
     parallel_s = None
     if parallel:
-        request = SweepRequest(device=spec, n=n, cal=cal)
-
         def run_parallel() -> None:
-            SweepEngine(jobs=jobs).evaluate_configs(request, configs)
+            SweepEngine(jobs=jobs, mode="parallel").evaluate_configs(
+                request, configs
+            )
 
         parallel_s = _best_of(run_parallel, repeats)
 
@@ -166,7 +209,76 @@ def _bench_case(
         vectorized_s=vectorized_s,
         max_rel_deviation=max_dev,
         jobs=jobs,
+        auto_mode=auto_mode,
     )
+
+
+def _planner_requests(sizes: Sequence[int]) -> list:
+    """The enlarged session grid the planner benchmark evaluates.
+
+    Both devices x ``sizes`` x :data:`PLANNER_PRODUCTS`, with every
+    P100 request appearing twice — real sessions overlap (e.g. fig8
+    and the headline study both sweep P100 N=18432), and the duplicate
+    block is exactly what the planner's dedup pass exists to absorb.
+    """
+    from repro.sweep.plan import SweepRequest
+
+    base = [
+        SweepRequest(device=device, n=n, total_products=t)
+        for device in PLANNER_DEVICES
+        for n in sizes
+        for t in PLANNER_PRODUCTS
+    ]
+    overlap = [r for r in base if r.device == "p100"]
+    return base + overlap
+
+
+def _bench_planner(sizes: Sequence[int], *, repeats: int) -> dict:
+    from repro.sweep.engine import SweepEngine
+    from repro.sweep.planner import EvalPlanner
+
+    requests = _planner_requests(sizes)
+
+    def per_experiment() -> None:
+        # The pre-planner path: each experiment builds its own scalar
+        # engine, no shared state, duplicates recomputed in full.
+        for request in requests:
+            SweepEngine().evaluate_configs(request, request.configs())
+
+    def run_planner(store_dir) -> EvalPlanner:
+        planner = EvalPlanner(store_dir=store_dir)
+        planner.add_all(requests)
+        planner.execute()
+        for request in requests:
+            planner.table(request)
+        return planner
+
+    def cold() -> None:
+        with tempfile.TemporaryDirectory() as d:
+            run_planner(d)
+
+    per_experiment_s = _best_of(per_experiment, repeats)
+    planner_cold_s = _best_of(cold, repeats)
+
+    with tempfile.TemporaryDirectory() as d:
+        stats = run_planner(d).stats  # fill once (also: dedup stats)
+        planner_warm_s = _best_of(lambda: run_planner(d), repeats)
+
+    return {
+        "devices": list(PLANNER_DEVICES),
+        "sizes": list(sizes),
+        "products": list(PLANNER_PRODUCTS),
+        "requests": len(requests),
+        "requested_points": stats.requested,
+        "unique_points": stats.unique_points,
+        "dedup_ratio": stats.dedup_ratio,
+        "backend": "vectorized",
+        "per_experiment_s": per_experiment_s,
+        "planner_cold_s": planner_cold_s,
+        "planner_warm_s": planner_warm_s,
+        "speedup_cold": per_experiment_s / planner_cold_s,
+        "speedup_warm": per_experiment_s / planner_warm_s,
+    }
 
 
 def run_benchmark(
@@ -176,6 +288,7 @@ def run_benchmark(
     repeats: int = 5,
     jobs: int | None = None,
     parallel: bool = True,
+    planner: bool = True,
 ) -> dict:
     """Run the backend benchmark; returns the BENCH_sweep.json document."""
     if repeats < 1:
@@ -186,7 +299,7 @@ def run_benchmark(
         _bench_case(device, n, repeats=repeats, jobs=jobs, parallel=parallel)
         for n in sizes
     ]
-    return {
+    doc = {
         "version": BENCH_VERSION,
         "host": {
             "python": platform.python_version(),
@@ -196,6 +309,9 @@ def run_benchmark(
         "repeats": repeats,
         "cases": [c.as_dict() for c in cases],
     }
+    if planner:
+        doc["planner"] = _bench_planner(sizes, repeats=repeats)
+    return doc
 
 
 def format_results(doc: dict) -> str:
@@ -218,10 +334,11 @@ def format_results(doc: dict) -> str:
                 par,
                 f"{c['vectorized_s'] * 1e3:.2f} "
                 f"({c['speedup_vectorized']:.1f}x)",
+                c.get("auto_mode", "-"),
                 f"{c['max_rel_deviation']:.1e}",
             )
         )
-    return format_table(
+    out = format_table(
         [
             "device",
             "N",
@@ -229,10 +346,40 @@ def format_results(doc: dict) -> str:
             "scalar (ms)",
             "parallel (ms)",
             "vectorized (ms)",
+            "auto mode",
             "max rel dev",
         ],
         rows,
     )
+    p = doc.get("planner")
+    if p is not None:
+        out += (
+            f"\n\nplanner session: {p['requests']} requests, "
+            f"{p['requested_points']} points "
+            f"({p['unique_points']} unique, "
+            f"dedup {p['dedup_ratio']:.2f}x)\n"
+            + format_table(
+                ["path", "wall (ms)", "speedup"],
+                [
+                    (
+                        "per-experiment (scalar)",
+                        f"{p['per_experiment_s'] * 1e3:.2f}",
+                        "1.0x",
+                    ),
+                    (
+                        "planner cold store",
+                        f"{p['planner_cold_s'] * 1e3:.2f}",
+                        f"{p['speedup_cold']:.1f}x",
+                    ),
+                    (
+                        "planner warm store",
+                        f"{p['planner_warm_s'] * 1e3:.2f}",
+                        f"{p['speedup_warm']:.1f}x",
+                    ),
+                ],
+            )
+        )
+    return out
 
 
 def add_bench_flags(parser: argparse.ArgumentParser) -> None:
@@ -258,8 +405,13 @@ def add_bench_flags(parser: argparse.ArgumentParser) -> None:
              "on small machines)",
     )
     parser.add_argument(
+        "--no-planner", action="store_true",
+        help="skip the planner session case",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
-        help="single repeat, no parallel case — the CI smoke settings",
+        help="single repeat, no parallel case — the CI smoke settings "
+             "(the planner case stays on)",
     )
     parser.add_argument(
         "--output", default="BENCH_sweep.json", metavar="FILE",
@@ -271,8 +423,9 @@ def run_from_args(args: argparse.Namespace) -> int:
     """Run the benchmark from parsed flags; returns the exit code.
 
     Non-zero if the vectorized backend is slower than the serial scalar
-    path on any case — the benchmark doubles as a perf regression gate
-    (CI runs it with ``--quick``).
+    path on any case, or if the warm-store planner session is slower
+    than the per-experiment baseline — the benchmark doubles as a perf
+    regression gate (CI runs it with ``--quick``).
     """
     doc = run_benchmark(
         device=args.device,
@@ -280,11 +433,13 @@ def run_from_args(args: argparse.Namespace) -> int:
         repeats=1 if args.quick else args.repeats,
         jobs=args.jobs,
         parallel=not (args.no_parallel or args.quick),
+        planner=not args.no_planner,
     )
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
     print(format_results(doc))
     print(f"\nwrote {args.output}")
 
+    failed = False
     slow = [
         c for c in doc["cases"] if c["speedup_vectorized"] < 1.0
     ]
@@ -295,15 +450,27 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"({worst:.2f}x) — perf regression",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    planner = doc.get("planner")
+    if planner is not None and planner["speedup_warm"] < 1.0:
+        print(
+            f"FAIL: warm-store planner slower than the per-experiment "
+            f"baseline ({planner['speedup_warm']:.2f}x) — perf "
+            f"regression",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Standalone entry point (``tools/bench_sweep.py``)."""
     parser = argparse.ArgumentParser(
         prog="repro bench",
-        description="Time scalar vs parallel vs vectorized sweep backends",
+        description=(
+            "Time scalar vs parallel vs vectorized sweep backends and "
+            "the planner session path"
+        ),
     )
     add_bench_flags(parser)
     return run_from_args(parser.parse_args(argv))

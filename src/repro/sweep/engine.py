@@ -34,8 +34,9 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.apps.matmul_gpu import MatmulConfig
 from repro.core.pareto import ParetoPoint
@@ -46,13 +47,36 @@ from repro.sweep.keys import MODEL_VERSION, sweep_key
 from repro.sweep.plan import SweepRequest
 from repro.sweep.worker import evaluate_chunk, evaluate_one
 
-__all__ = ["SweepEngine", "SweepStats", "BACKENDS", "chunk_size_for"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.columnar import ColumnarStore
+
+__all__ = [
+    "SweepEngine",
+    "SweepStats",
+    "BACKENDS",
+    "MODES",
+    "PARALLEL_MIN_POINTS",
+    "chunk_size_for",
+]
 
 #: Execution paths ``SweepEngine`` can compute missing points with.
 #: ``scalar`` is the reference (``GPUDevice.run_matmul`` per point,
 #: optionally fanned out over processes); ``vectorized`` evaluates the
 #: whole missing set in one NumPy pass (:mod:`repro.simgpu.batch`).
 BACKENDS = ("scalar", "vectorized")
+
+#: Scalar-backend execution-mode policies (see :class:`SweepEngine`).
+MODES = ("auto", "serial", "parallel")
+
+#: Minimum missing-point count before ``mode="auto"`` fans a scalar
+#: sweep out over a process pool.  Measured heuristic: one scalar point
+#: costs ~50 µs while ``ProcessPoolExecutor`` startup plus per-chunk
+#: pickling costs tens of milliseconds, so the pool only amortizes
+#: above roughly 500-1000 points per worker — far above the paper's
+#: 146-point grids, which is why ``BENCH_sweep.json`` showed the pool
+#: path *slower* than serial there.  Below this threshold auto mode
+#: runs serially.
+PARALLEL_MIN_POINTS = 512
 
 #: Adaptive chunk-size bounds for the process-pool path.
 MIN_CHUNK_SIZE = 4
@@ -84,10 +108,19 @@ class SweepStats:
     requested: int = 0
     cache_hits: int = 0
     computed: int = 0
+    #: Execution path of the most recent compute ("serial",
+    #: "process-pool" or "vectorized"); None until something computes.
+    last_mode: str | None = None
+    #: Points computed per execution path over the lifetime.
+    mode_points: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.requested if self.requested else 0.0
+
+    def record_mode(self, mode: str, points: int) -> None:
+        self.last_mode = mode
+        self.mode_points[mode] = self.mode_points.get(mode, 0) + points
 
 
 class SweepEngine:
@@ -102,6 +135,12 @@ class SweepEngine:
     cache_dir / cache:
         Attach a persistent :class:`SweepCache` (by directory, or an
         instance).  Without either, every point is computed fresh.
+    store_dir / store:
+        Attach a columnar :class:`repro.store.ColumnarStore` instead of
+        the per-point JSON cache: hits and misses of a whole request
+        are partitioned in one vectorized pass against the request's
+        shard, and computed points are appended shard-at-a-time.
+        Mutually exclusive with ``cache``/``cache_dir``.
     backend:
         Execution path for missing points (:data:`BACKENDS`).
         ``"scalar"`` (default) is the reference path; ``"vectorized"``
@@ -110,6 +149,15 @@ class SweepEngine:
         ≤ 1e-9 relative error.  Vectorized results are cached under
         backend-tagged keys so the reference cache and the golden
         snapshots stay untouched.
+    mode:
+        Scalar-backend execution-mode policy (:data:`MODES`).
+        ``"auto"`` (default) fans out over the process pool only when
+        the missing-point count reaches :data:`PARALLEL_MIN_POINTS`
+        (pool startup dominates below it — see the constant's
+        heuristic); ``"serial"`` never uses the pool; ``"parallel"``
+        always fans out when ``jobs > 1`` and there is more than one
+        chunk.  The chosen path of the last compute is recorded in
+        ``stats.last_mode``.
     """
 
     def __init__(
@@ -118,24 +166,43 @@ class SweepEngine:
         jobs: int = 1,
         cache_dir: str | Path | None = None,
         cache: SweepCache | None = None,
+        store_dir: str | Path | None = None,
+        store: "ColumnarStore | None" = None,
         backend: str = "scalar",
+        mode: str = "auto",
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if cache is not None and cache_dir is not None:
             raise ValueError("pass cache_dir or cache, not both")
+        if store is not None and store_dir is not None:
+            raise ValueError("pass store_dir or store, not both")
         if backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}: expected one of "
                 f"{', '.join(BACKENDS)}"
             )
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}: expected one of {', '.join(MODES)}"
+            )
         self.jobs = jobs
         self.backend = backend
+        self.mode = mode
         self.cache = (
             cache if cache is not None
             else SweepCache(cache_dir) if cache_dir is not None
             else None
         )
+        if store is None and store_dir is not None:
+            from repro.store.columnar import ColumnarStore
+
+            store = ColumnarStore(store_dir)
+        self.store = store
+        if self.cache is not None and self.store is not None:
+            raise ValueError(
+                "attach a JSON cache or a columnar store, not both"
+            )
         self.stats = SweepStats()
 
     # -- single points ------------------------------------------------------
@@ -200,6 +267,8 @@ class SweepEngine:
         cal = request.calibration
         n = request.n
         self.stats.requested += len(configs)
+        if self.store is not None:
+            return self._evaluate_with_store(spec, cal, n, configs)
 
         keys: list[str | None] = [None] * len(configs)
         objectives: list[tuple[float, float] | None] = [None] * len(configs)
@@ -244,7 +313,58 @@ class SweepEngine:
             for cfg, obj in zip(configs, objectives)
         ]
 
+    # -- columnar-store path ------------------------------------------------
+
+    def _evaluate_with_store(
+        self,
+        spec: GPUSpec,
+        cal: GPUCalibration,
+        n: int,
+        configs: Sequence[MatmulConfig],
+    ) -> list[ParetoPoint]:
+        """Hit/miss partition and fill against the columnar store.
+
+        One vectorized lookup per request instead of one file read per
+        point; computed misses are appended to the request's shard in a
+        single atomic write.
+        """
+        import numpy as np
+
+        from repro.store.columnar import pack_configs, shard_key
+
+        key = shard_key(spec, cal, n, backend=self.backend)
+        packed, bs, g, r = pack_configs(configs)
+        times, energies, hit = self.store.lookup(key, packed)
+        miss = np.flatnonzero(~hit)
+        self.stats.cache_hits += int(hit.sum())
+        if miss.size:
+            computed = self._compute(
+                spec, cal, n, [configs[i] for i in miss]
+            )
+            self.stats.computed += miss.size
+            t_new = np.array([obj[0] for obj in computed])
+            e_new = np.array([obj[1] for obj in computed])
+            times[miss] = t_new
+            energies[miss] = e_new
+            self.store.append(
+                key, bs[miss], g[miss], r[miss], t_new, e_new
+            )
+        return [
+            ParetoPoint(time_s=t, energy_j=e, config=cfg.as_dict())
+            for cfg, t, e in zip(configs, times.tolist(), energies.tolist())
+        ]
+
     # -- computation --------------------------------------------------------
+
+    def _use_pool(self, n_points: int) -> bool:
+        """Whether the scalar path should fan out over the pool."""
+        if self.jobs == 1 or self.mode == "serial":
+            return False
+        if n_points <= chunk_size_for(n_points, self.jobs):
+            return False  # a single chunk gains nothing from a pool
+        if self.mode == "parallel":
+            return True
+        return n_points >= PARALLEL_MIN_POINTS
 
     def _compute(
         self,
@@ -256,10 +376,13 @@ class SweepEngine:
         if self.backend == "vectorized":
             from repro.simgpu.batch import evaluate_configs_batch
 
+            self.stats.record_mode("vectorized", len(configs))
             return evaluate_configs_batch(spec, cal, n, configs)
-        size = chunk_size_for(len(configs), self.jobs)
-        if self.jobs == 1 or len(configs) <= size:
+        if not self._use_pool(len(configs)):
+            self.stats.record_mode("serial", len(configs))
             return [evaluate_one(spec, cal, n, c) for c in configs]
+        self.stats.record_mode("process-pool", len(configs))
+        size = chunk_size_for(len(configs), self.jobs)
         chunks = [
             configs[i : i + size] for i in range(0, len(configs), size)
         ]

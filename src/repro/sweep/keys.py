@@ -25,7 +25,7 @@ from typing import Any
 from repro.machines.specs import GPUSpec
 from repro.simgpu.calibration import GPUCalibration
 
-__all__ = ["MODEL_VERSION", "canonical_json", "sweep_key"]
+__all__ = ["MODEL_VERSION", "canonical_json", "shard_digest", "sweep_key"]
 
 #: Version of the GPU simulator's *code* (the constants are hashed
 #: directly).  Bump whenever `repro.simgpu` changes the mapping from
@@ -59,13 +59,42 @@ def sweep_key(
     parity tolerance, and must never be served where reference values
     were requested (or vice versa).
     """
-    payload = {
+    payload = _sweep_payload(spec, cal, n, backend)
+    payload["config"] = {k: int(v) for k, v in sorted(config.items())}
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def _sweep_payload(
+    spec: GPUSpec, cal: GPUCalibration, n: int, backend: str
+) -> dict[str, Any]:
+    """The config-independent part of a sweep point's identity."""
+    payload: dict[str, Any] = {
         "model_version": MODEL_VERSION,
         "spec": dataclasses.asdict(spec),
         "calibration": dataclasses.asdict(cal),
         "n": int(n),
-        "config": {k: int(v) for k, v in sorted(config.items())},
     }
     if backend != "scalar":
         payload["backend"] = backend
+    return payload
+
+
+def shard_digest(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    n: int,
+    *,
+    backend: str = "scalar",
+) -> str:
+    """SHA-256 identity of one ``(device, N, model, backend)`` shard.
+
+    This is :func:`sweep_key` minus the configuration: every sweep
+    point of one device/size/calibration/backend combination shares one
+    digest, which is how the columnar store (:mod:`repro.store`) groups
+    points into shards.  Like :func:`sweep_key`, any change to a spec
+    constant, a calibration constant or :data:`MODEL_VERSION` moves the
+    points to a fresh shard, so a stale shard can never be read for a
+    changed model.
+    """
+    payload = _sweep_payload(spec, cal, n, backend)
     return hashlib.sha256(canonical_json(payload).encode()).hexdigest()

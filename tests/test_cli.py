@@ -77,14 +77,19 @@ class TestBenchCommand:
         import json
 
         doc = json.loads(out.read_text())
-        assert doc["version"] == "repro-bench/1"
+        assert doc["version"] == "repro-bench/2"
         (case,) = doc["cases"]
         assert case["device"] == "p100" and case["n"] == 1024
         assert case["configs"] == 146
         assert case["max_rel_deviation"] <= 1e-9
         assert case["vectorized_s"] > 0 and case["scalar_s"] > 0
         assert case["parallel_s"] is None  # --quick skips the pool
+        assert case["auto_mode"] == "serial"  # 146 pts < threshold
         assert "speedup_vectorized" in case
+        planner = doc["planner"]  # --quick keeps the planner case
+        assert planner["unique_points"] > 0
+        assert planner["dedup_ratio"] > 1.0
+        assert planner["planner_warm_s"] > 0
         assert "vectorized" in capsys.readouterr().out
 
     def test_sweep_with_cache_dir_populates_cache(self, tmp_path, capsys):
@@ -111,6 +116,79 @@ class TestBenchCommand:
             ["sweep", "--device", "k40c", "--n", "2048", "--no-cache"]
         ) == 0
         assert not cache.exists()
+
+    def test_sweep_with_store_dir_populates_store(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(
+            ["sweep", "--device", "k40c", "--n", "2048",
+             "--store-dir", str(store)]
+        ) == 0
+        assert len(list(store.glob("*.npz"))) == 1  # one shard, not 146 files
+        first = capsys.readouterr().out
+        # Warm rerun: identical output from pure shard lookups.
+        assert main(
+            ["sweep", "--device", "k40c", "--n", "2048",
+             "--store-dir", str(store)]
+        ) == 0
+        assert capsys.readouterr().out == first
+
+    def test_store_dir_and_cache_dir_are_mutually_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                ["sweep", "--store-dir", str(tmp_path / "s"),
+                 "--cache-dir", str(tmp_path / "c")]
+            )
+
+
+class TestAllCommand:
+    def test_all_runs_the_session_and_reports_dedup(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main(["all", "--store-dir", str(store)]) == 0
+        out = capsys.readouterr().out
+        for section in ("== fig2 ==", "== fig7 ==", "== fig8 ==",
+                        "== headline ==", "== sensitivity ==",
+                        "== budgeted-search =="):
+            assert section in out
+        assert "planner session:" in out
+        assert "0 store hits" in out  # cold run
+        assert len(list(store.glob("*.npz"))) > 0
+
+        # Warm rerun: everything from the store, zero computed.
+        assert main(["all", "--store-dir", str(store)]) == 0
+        warm = capsys.readouterr().out
+        assert "0 computed in 0 batches" in warm
+        # Sections are identical between cold and warm runs.
+        assert warm.split("planner session:")[0] == out.split(
+            "planner session:"
+        )[0]
+
+    def test_all_without_store_runs_in_memory(self, capsys):
+        assert main(["all"]) == 0
+        assert "planner session:" in capsys.readouterr().out
+
+
+class TestCacheMigrateCommand:
+    def test_migrate_then_store_backed_rerun(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        store = tmp_path / "store"
+        assert main(
+            ["sweep", "--device", "p100", "--n", "2048",
+             "--cache-dir", str(cache)]
+        ) == 0
+        sweep_out = capsys.readouterr().out
+        assert main(
+            ["cache", "migrate", "--cache-dir", str(cache),
+             "--store-dir", str(store)]
+        ) == 0
+        assert "146 migrated" in capsys.readouterr().out
+        # The migrated store serves the same sweep verbatim.
+        assert main(
+            ["sweep", "--device", "p100", "--n", "2048",
+             "--store-dir", str(store)]
+        ) == 0
+        assert capsys.readouterr().out == sweep_out
+        # Source cache untouched.
+        assert len(list(cache.glob("??/*.json"))) == 146
 
     def test_env_cache_dir_used_by_default(self, tmp_path, monkeypatch, capsys):
         cache = tmp_path / "from-env"

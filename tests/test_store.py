@@ -1,0 +1,384 @@
+"""Unit tests for :mod:`repro.store` — the columnar shard store.
+
+Round-trip bit-exactness, vectorized hit/miss partitioning, the
+corruption/truncation → recompute fallback, model-version staleness,
+concurrent-writer merging, manifest recovery, and the JSON cache →
+store migration (including its bit-identity to recomputation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.apps.matmul_gpu import MatmulGPUApp
+from repro.machines.specs import K40C, P100
+from repro.simgpu.calibration import P100_CAL
+from repro.store import (
+    ColumnarStore,
+    MigrationReport,
+    migrate_json_cache,
+    pack_config,
+    pack_configs,
+    shard_key,
+    unpack_config,
+)
+from repro.store.columnar import MANIFEST_FORMAT, SHARD_FORMAT
+from repro.sweep import SweepEngine, SweepRequest
+
+
+def _p100_key(n=4096, backend="scalar"):
+    return shard_key(P100, P100_CAL, n, backend=backend)
+
+
+def _rows(count=8, seed=3):
+    rng = np.random.default_rng(seed)
+    bs = rng.integers(1, 33, count)
+    g = rng.integers(1, 9, count)
+    r = np.arange(1, count + 1)  # distinct r => distinct packed keys
+    t = rng.uniform(1.0, 100.0, count)
+    e = rng.uniform(100.0, 9000.0, count)
+    return bs, g, r, t, e
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        for cfg in [(1, 1, 1), (32, 8, 24), (32, 1, 120), (7, 3, 11)]:
+            assert unpack_config(pack_config(*cfg)) == cfg
+
+    def test_pack_orders_lexicographically(self):
+        assert pack_config(2, 1, 1) > pack_config(1, 8, 120)
+        assert pack_config(4, 2, 1) > pack_config(4, 1, 120)
+
+    def test_pack_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_config(0, 1, 1)
+        with pytest.raises(ValueError):
+            pack_config(1, 1, 1 << 21)
+
+    def test_pack_configs_matches_scalar(self):
+        configs = MatmulGPUApp(P100).sweep_configs()
+        packed, bs, g, r = pack_configs(configs)
+        assert [unpack_config(p) for p in packed] == [
+            (c.bs, c.g, c.r) for c in configs
+        ]
+        assert bs.dtype == np.int64 and len(bs) == len(configs)
+
+
+class TestShardKey:
+    def test_digest_distinguishes_identity(self):
+        base = _p100_key()
+        assert _p100_key(n=8192).digest != base.digest
+        assert _p100_key(backend="vectorized").digest != base.digest
+        assert shard_key(K40C, P100_CAL, 4096).digest != base.digest
+        perturbed = dataclasses.replace(
+            P100_CAL, e_lane_j=P100_CAL.e_lane_j * 1.2
+        )
+        assert shard_key(P100, perturbed, 4096).digest != base.digest
+
+    def test_scalar_digest_matches_legacy_payload(self):
+        """Scalar keys must not depend on the backend tag (back-compat)."""
+        from repro.sweep.keys import shard_digest
+
+        assert _p100_key().digest == shard_digest(P100, P100_CAL, 4096)
+
+    def test_filename_is_digest_derived(self):
+        key = _p100_key()
+        assert key.digest[:16] in key.filename
+        assert key.filename.endswith(".npz")
+
+
+class TestColumnarStore:
+    def test_roundtrip_is_bit_exact(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        times, energies, hit = fresh.lookup(key, packed)
+        assert hit.all()
+        # Exact per-lane equality in request order, regardless of the
+        # shard's internal (sorted) layout:
+        np.testing.assert_array_equal(times, t)
+        np.testing.assert_array_equal(energies, e)
+
+    def test_lookup_partitions_hits_and_misses(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        known = pack_config(int(bs[0]), int(g[0]), int(r[0]))
+        unknown = pack_config(31, 7, 99)
+        times, energies, hit = store.lookup(
+            key, np.array([unknown, known], dtype=np.int64)
+        )
+        assert list(hit) == [False, True]
+        assert np.isnan(times[0]) and np.isnan(energies[0])
+        assert times[1] == t[0] and energies[1] == e[0]
+
+    def test_append_merges_and_existing_rows_win(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        store.append(key, [4], [2], [12], [1.5], [300.0])
+        # Same config, different (wrong) value: the original must win.
+        n_rows = store.append(key, [4, 8], [2, 2], [12, 12], [9.9, 2.5], [1.0, 500.0])
+        assert n_rows == 2
+        times, energies, hit = store.lookup(
+            key,
+            np.array([pack_config(4, 2, 12), pack_config(8, 2, 12)]),
+        )
+        assert hit.all()
+        assert times[0] == 1.5 and energies[0] == 300.0
+        assert times[1] == 2.5 and energies[1] == 500.0
+
+    def test_concurrent_writers_converge_to_union(self, tmp_path):
+        """Two store handles appending disjoint rows both survive."""
+        key = _p100_key()
+        a = ColumnarStore(tmp_path)
+        b = ColumnarStore(tmp_path)
+        a.append(key, [4], [2], [12], [1.0], [10.0])
+        # b never saw a's write; its append must re-read and merge.
+        b.append(key, [8], [2], [12], [2.0], [20.0])
+        fresh = ColumnarStore(tmp_path)
+        _, _, hit = fresh.lookup(
+            key,
+            np.array([pack_config(4, 2, 12), pack_config(8, 2, 12)]),
+        )
+        assert hit.all()
+        assert len(list(tmp_path.glob(".*.tmp"))) == 0  # no leftovers
+
+    def test_corrupted_shard_reads_as_empty(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        store.shard_path(key).write_bytes(b"this is not a zip archive")
+        fresh = ColumnarStore(tmp_path)
+        packed, *_ = pack_configs(
+            [type("C", (), {"bs": 4, "g": 2, "r": 12})()]
+        )
+        _, _, hit = fresh.lookup(key, packed)
+        assert not hit.any()
+        assert fresh.corrupt_shards == 1
+
+    def test_truncated_shard_reads_as_empty(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        path = store.shard_path(key)
+        path.write_bytes(path.read_bytes()[:100])  # torn write
+        fresh = ColumnarStore(tmp_path)
+        _, _, hit = fresh.lookup(key, np.array([pack_config(4, 2, 12)]))
+        assert not hit.any()
+        assert fresh.corrupt_shards == 1
+
+    def test_shard_at_wrong_address_is_rejected(self, tmp_path):
+        """A shard copied to another identity's filename never lies."""
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        other = _p100_key(n=8192)
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        shutil.copy(store.shard_path(key), store.shard_path(other))
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(other, packed)
+        assert not hit.any()
+        assert fresh.corrupt_shards == 1
+
+    def test_stale_model_version_is_rejected(self, tmp_path, monkeypatch):
+        """A version bump must orphan old shards, not serve them."""
+        store = ColumnarStore(tmp_path)
+        old_key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(old_key, bs, g, r, t, e)
+
+        monkeypatch.setattr("repro.sweep.keys.MODEL_VERSION", "gpu-matmul/999")
+        monkeypatch.setattr(
+            "repro.store.columnar.MODEL_VERSION", "gpu-matmul/999"
+        )
+        new_key = _p100_key()
+        assert new_key.digest != old_key.digest  # distinct address
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(new_key, packed)
+        assert not hit.any()
+        # Even a byte-copy of the stale shard to the new address fails
+        # the soundness check (its meta carries the old version+digest).
+        shutil.copy(store.shard_path(old_key), fresh.shard_path(new_key))
+        fresh2 = ColumnarStore(tmp_path)
+        _, _, hit = fresh2.lookup(new_key, packed)
+        assert not hit.any()
+        assert fresh2.corrupt_shards == 1
+
+    def test_manifest_tracks_appends(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        doc = json.loads((tmp_path / "manifest.json").read_text())
+        assert doc["format"] == MANIFEST_FORMAT
+        assert doc["shards"][key.digest]["points"] == len(bs)
+        assert doc["shards"][key.digest]["file"] == key.filename
+        assert len(store) == len(bs)
+
+    def test_lost_manifest_is_rebuilt_from_shards(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        (tmp_path / "manifest.json").unlink()
+        fresh = ColumnarStore(tmp_path)
+        assert fresh.manifest()["shards"][key.digest]["points"] == len(bs)
+        assert (tmp_path / "manifest.json").is_file()  # re-persisted
+
+    def test_corrupt_manifest_never_affects_lookups(self, tmp_path):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        (tmp_path / "manifest.json").write_text("{not json")
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(key, packed)
+        assert hit.all()
+        # And the advisory index recovers.
+        assert fresh.manifest()["shards"][key.digest]["points"] == len(bs)
+
+    def test_empty_manifest_on_empty_store(self, tmp_path):
+        store = ColumnarStore(tmp_path / "never-written")
+        assert store.manifest() == {"format": MANIFEST_FORMAT, "shards": {}}
+        assert len(store) == 0
+
+
+class TestEngineWithStore:
+    def test_store_and_cache_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            SweepEngine(cache_dir=tmp_path / "c", store_dir=tmp_path / "s")
+
+    def test_store_dir_and_store_are_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            SweepEngine(
+                store_dir=tmp_path, store=ColumnarStore(tmp_path)
+            )
+
+    def test_cold_then_warm_is_bit_identical(self, tmp_path):
+        reference = SweepEngine().sweep("p100", 4096)
+        cold = SweepEngine(store_dir=tmp_path)
+        assert cold.sweep("p100", 4096) == reference
+        assert cold.stats.computed == len(reference)
+
+        warm = SweepEngine(store_dir=tmp_path)
+        assert warm.sweep("p100", 4096) == reference
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == len(reference)
+
+    def test_partial_store_fills_only_misses(self, tmp_path):
+        req = SweepRequest(device="k40c", n=4096)
+        configs = req.configs()
+        seed = SweepEngine(store_dir=tmp_path)
+        seed.evaluate_configs(req, configs[: len(configs) // 2])
+
+        rest = SweepEngine(store_dir=tmp_path)
+        points = rest.evaluate_configs(req, configs)
+        assert points == SweepEngine().evaluate_configs(req, configs)
+        assert rest.stats.cache_hits == len(configs) // 2
+        assert rest.stats.computed == len(configs) - len(configs) // 2
+
+    def test_corrupted_shard_recomputed_transparently(self, tmp_path):
+        from repro.simgpu.calibration import K40C_CAL
+
+        engine = SweepEngine(store_dir=tmp_path)
+        full = engine.sweep("k40c", 4096)
+        key = shard_key(K40C, K40C_CAL, 4096)
+        engine2 = SweepEngine(store_dir=tmp_path)
+        engine2.store.shard_path(key).write_bytes(b"garbage")
+        assert engine2.sweep("k40c", 4096) == full
+        assert engine2.stats.computed == len(full)
+        # The recomputation healed the shard on disk.
+        healed = SweepEngine(store_dir=tmp_path)
+        assert healed.sweep("k40c", 4096) == full
+        assert healed.stats.computed == 0
+
+    def test_backends_use_distinct_shards(self, tmp_path):
+        scalar = SweepEngine(store_dir=tmp_path)
+        scalar.sweep("p100", 4096)
+        vec = SweepEngine(store_dir=tmp_path, backend="vectorized")
+        vec.sweep("p100", 4096)
+        assert vec.stats.cache_hits == 0  # no cross-backend leakage
+        assert vec.stats.computed == vec.stats.requested
+
+
+class TestMigration:
+    def _populate_json_cache(self, cache_dir, n=4096):
+        engine = SweepEngine(cache_dir=cache_dir)
+        return engine.sweep("p100", n)
+
+    def test_migrated_store_is_bit_identical_to_recomputation(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        store_dir = tmp_path / "store"
+        reference = self._populate_json_cache(cache_dir)
+
+        report = migrate_json_cache(cache_dir, store_dir)
+        assert isinstance(report, MigrationReport)
+        assert report.scanned == len(reference)
+        assert report.migrated == len(reference)
+        assert report.skipped_foreign == 0 and report.skipped_corrupt == 0
+
+        warm = SweepEngine(store_dir=store_dir)
+        assert warm.sweep("p100", 4096) == reference
+        assert warm.stats.computed == 0  # every migrated point served
+        # ...and every stored objective equals a fresh recomputation
+        # bit for bit (JSON repr round-trip + float64 columns).
+        assert SweepEngine().sweep("p100", 4096) == reference
+
+    def test_migration_is_idempotent(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        store_dir = tmp_path / "store"
+        self._populate_json_cache(cache_dir)
+        first = migrate_json_cache(cache_dir, store_dir)
+        second = migrate_json_cache(cache_dir, store_dir)
+        assert second.migrated == first.migrated
+        assert second.shards == first.shards
+
+    def test_foreign_records_are_left_in_place(self, tmp_path):
+        """Perturbed-calibration records can't be claimed — skipped."""
+        cache_dir = tmp_path / "cache"
+        store_dir = tmp_path / "store"
+        perturbed = dataclasses.replace(
+            P100_CAL, e_lane_j=P100_CAL.e_lane_j * 1.2
+        )
+        engine = SweepEngine(cache_dir=cache_dir)
+        engine.sweep("p100", 4096, cal=perturbed)
+        n_records = len(list(cache_dir.glob("??/*.json")))
+
+        report = migrate_json_cache(cache_dir, store_dir)
+        assert report.scanned == n_records
+        assert report.migrated == 0
+        assert report.skipped_foreign == n_records
+        # The JSON cache is untouched.
+        assert len(list(cache_dir.glob("??/*.json"))) == n_records
+
+    def test_corrupt_records_are_counted(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        store_dir = tmp_path / "store"
+        reference = self._populate_json_cache(cache_dir)
+        victim = sorted(cache_dir.glob("??/*.json"))[0]
+        victim.write_text("{torn")
+        report = migrate_json_cache(cache_dir, store_dir)
+        assert report.skipped_corrupt == 1
+        assert report.migrated == len(reference) - 1
+
+    def test_render_summarizes(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        self._populate_json_cache(cache_dir)
+        report = migrate_json_cache(cache_dir, tmp_path / "store")
+        text = report.render()
+        assert "migrated" in text and str(report.migrated) in text

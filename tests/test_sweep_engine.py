@@ -242,6 +242,43 @@ class TestSweepEngine:
         assert [p.config for p in base] == [p.config for p in perturbed]
         assert base != perturbed
 
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="unknown mode"):
+            SweepEngine(mode="turbo")
+
+    def test_auto_mode_stays_serial_below_threshold(self):
+        """Paper-size grids (146 pts) sit below PARALLEL_MIN_POINTS:
+        auto mode must not pay pool startup for them (the perf
+        regression BENCH_sweep.json documented for repro-bench/1)."""
+        engine = SweepEngine(jobs=4)  # mode="auto" default
+        points = engine.sweep("p100", 4096)
+        assert engine.stats.last_mode == "serial"
+        assert engine.stats.mode_points == {"serial": len(points)}
+
+    def test_auto_mode_pool_policy(self):
+        from repro.sweep import PARALLEL_MIN_POINTS
+
+        auto = SweepEngine(jobs=4)
+        assert not auto._use_pool(PARALLEL_MIN_POINTS - 1)
+        assert auto._use_pool(PARALLEL_MIN_POINTS)
+        # Forced modes override the threshold in both directions.
+        assert SweepEngine(jobs=4, mode="parallel")._use_pool(146)
+        assert not SweepEngine(jobs=4, mode="serial")._use_pool(10_000)
+        # A single worker or a single chunk never pays for a pool.
+        assert not SweepEngine(jobs=1, mode="parallel")._use_pool(10_000)
+        assert not SweepEngine(jobs=4, mode="parallel")._use_pool(3)
+
+    def test_forced_parallel_records_pool_mode(self):
+        engine = SweepEngine(jobs=2, mode="parallel")
+        reference = SweepEngine().sweep("p100", 2048)
+        assert engine.sweep("p100", 2048) == reference
+        assert engine.stats.last_mode == "process-pool"
+
+    def test_vectorized_backend_records_mode(self):
+        engine = SweepEngine(backend="vectorized")
+        engine.sweep("p100", 2048)
+        assert engine.stats.last_mode == "vectorized"
+
     def test_noisy_sweeps_bypass_engine(self, tmp_path):
         """rng sweeps must not populate or read the cache."""
         import numpy as np

@@ -27,21 +27,27 @@ CASES = [("k40c", K40C, 8704), ("p100", P100, 10240)]
 class TestSerialParallelParity:
     def test_parallel_matches_serial_cold(self, device, spec, n):
         serial = SweepEngine(jobs=1).sweep(device, n)
-        parallel = SweepEngine(jobs=4).sweep(device, n)
+        # mode="parallel" forces the pool: the paper grids sit below
+        # the auto threshold, and these tests exist to exercise it.
+        parallel = SweepEngine(jobs=4, mode="parallel").sweep(device, n)
         assert parallel == serial
 
     def test_parallel_matches_app_reference(self, device, spec, n):
         reference = MatmulGPUApp(spec).sweep_points(n)
-        assert SweepEngine(jobs=4).sweep(device, n) == reference
+        engine = SweepEngine(jobs=4, mode="parallel")
+        assert engine.sweep(device, n) == reference
+        assert engine.stats.last_mode == "process-pool"
 
     def test_cached_parallel_matches_cold_serial(self, device, spec, n, tmp_path):
         serial_cold = SweepEngine(jobs=1).sweep(device, n)
         # Populate the cache with the parallel path...
-        warmup = SweepEngine(jobs=4, cache_dir=tmp_path)
+        warmup = SweepEngine(jobs=4, cache_dir=tmp_path, mode="parallel")
         assert warmup.sweep(device, n) == serial_cold
         # ...then read it back through both serial and parallel engines.
         warm_serial = SweepEngine(jobs=1, cache_dir=tmp_path)
-        warm_parallel = SweepEngine(jobs=4, cache_dir=tmp_path)
+        warm_parallel = SweepEngine(
+            jobs=4, cache_dir=tmp_path, mode="parallel"
+        )
         assert warm_serial.sweep(device, n) == serial_cold
         assert warm_parallel.sweep(device, n) == serial_cold
         assert warm_serial.stats.computed == 0

@@ -6,9 +6,13 @@ benchmark can run from a checkout without installing the package:
     PYTHONPATH=src python tools/bench_sweep.py [--quick] [--output FILE]
 
 Times the serial scalar reference, the process-pool parallel path and
-the NumPy-vectorized batch backend on the paper's P100 sweeps, writes
-``BENCH_sweep.json``, and exits non-zero if the vectorized backend is
-slower than scalar (perf regression gate).
+the NumPy-vectorized batch backend on the paper's P100 sweeps, plus
+the cross-experiment planner session (per-experiment baseline vs
+cold-store vs warm-store on an enlarged devices x sizes x
+total-products grid), writes ``BENCH_sweep.json``, and exits non-zero
+if the vectorized backend is slower than scalar or the warm-store
+planner is slower than the per-experiment baseline (perf regression
+gates).
 """
 
 from __future__ import annotations
