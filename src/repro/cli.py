@@ -22,13 +22,19 @@ custom workload, without writing code:
   and the planner session path, and write ``BENCH_sweep.json``;
 * ``cache migrate`` — convert a JSON point cache into a columnar
   store losslessly;
+* ``trace`` — render a telemetry JSONL file (written by
+  ``--telemetry jsonl:PATH``) as a span tree with self-time, metrics
+  and the run-provenance manifest (see :mod:`repro.obs`);
 * ``report`` — run everything and write a single markdown report.
 
 The sweep-driven commands (``experiment``, ``sweep``) accept
 ``--jobs`` (process-pool parallelism), ``--backend`` (``scalar`` or
 ``vectorized`` evaluation), ``--cache-dir`` and ``--no-cache`` (the
 persistent per-point JSON cache) or ``--store-dir`` (the columnar
-shard store; see :mod:`repro.sweep`).
+shard store; see :mod:`repro.sweep`).  They, plus ``all`` and
+``bench``, accept ``--telemetry off|summary|jsonl:PATH``
+(:mod:`repro.obs`): ``off`` is the default and byte-identical to the
+uninstrumented output.
 """
 
 from __future__ import annotations
@@ -63,6 +69,36 @@ _EXPERIMENTS = (
 )
 
 
+def positive_int(text: str) -> int:
+    """Argparse type for flags that must be >= 1 (``--jobs`` etc.).
+
+    Validates at the parser boundary so ``--jobs 0`` or ``--jobs -4``
+    is a clean usage error instead of a traceback from deep inside the
+    engine or the process pool.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1 (got {value})"
+        )
+    return value
+
+
+def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry", default="off", metavar="off|summary|jsonl:PATH",
+        help=(
+            "telemetry sink: 'off' (default; output byte-identical to "
+            "an uninstrumented run), 'summary' (append a span/metric "
+            "digest), or 'jsonl:PATH' (write the event stream for "
+            "`repro trace`)"
+        ),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -75,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_engine_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--jobs", type=int, default=1, metavar="N",
+            "--jobs", type=positive_int, default=1, metavar="N",
             help="worker processes for sweep evaluation (default 1: serial)",
         )
         p.add_argument(
@@ -104,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
                 "persistence; mutually exclusive with --cache-dir)"
             ),
         )
+        _add_telemetry_flag(p)
 
     exp = sub.add_parser(
         "experiment", help="regenerate one paper artifact"
@@ -167,6 +204,16 @@ def build_parser() -> argparse.ArgumentParser:
             "NumPy mega-batch per device/size group)"
         ),
     )
+    _add_telemetry_flag(run_all)
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "render a telemetry JSONL file (--telemetry jsonl:PATH) as "
+            "a span tree with self-time, metrics and provenance"
+        ),
+    )
+    trace.add_argument("file", help="telemetry JSONL file to render")
 
     sub.add_parser("machines", help="list the platform registry")
 
@@ -194,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time scalar vs parallel vs vectorized sweep backends",
     )
     add_bench_flags(bench)
+    _add_telemetry_flag(bench)
 
     report = sub.add_parser(
         "report", help="regenerate every artifact into one markdown report"
@@ -472,8 +520,70 @@ def _run_machines() -> str:
     return format_table(["key", "name", "summary"], rows)
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _experiment_requests(exp_id: str):
+    """The sweep requests one experiment will make, or None.
+
+    Only the sweep-driven experiments publish a ``requests()``
+    protocol; the rest have no sweep inputs to hash into a
+    provenance manifest.
+    """
+    from repro.experiments import (
+        budgeted_search,
+        fig2_p100_n18432,
+        fig7_k40c_pareto,
+        fig8_p100_pareto,
+        headline,
+        sensitivity,
+    )
+
+    table = {
+        "fig2": fig2_p100_n18432.requests,
+        "fig7": fig7_k40c_pareto.requests,
+        "fig8": fig8_p100_pareto.requests,
+        "headline": headline.requests,
+        "sensitivity": sensitivity.requests,
+        "budgeted-search": budgeted_search.requests,
+    }
+    fn = table.get(exp_id)
+    return tuple(fn()) if fn is not None else None
+
+
+def _provenance_for(args: argparse.Namespace) -> dict:
+    """Build the run-provenance manifest of one telemetry-carrying run."""
+    from repro.obs.provenance import run_manifest
+
+    backend = getattr(args, "backend", None)
+    if args.command == "experiment":
+        return run_manifest(
+            f"experiment {args.id}",
+            backend=backend,
+            requests=_experiment_requests(args.id),
+        )
+    if args.command == "sweep":
+        from repro.sweep.plan import SweepRequest
+
+        return run_manifest(
+            "sweep",
+            backend=backend,
+            requests=(
+                SweepRequest(
+                    device=args.device,
+                    n=args.n,
+                    total_products=args.products,
+                ),
+            ),
+            extra={"device": args.device, "n": args.n},
+        )
+    if args.command == "all":
+        from repro.sweep.planner import collect_session_requests
+
+        return run_manifest(
+            "all", backend=backend, requests=collect_session_requests()
+        )
+    return run_manifest(args.command, backend=backend)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiment":
         print(_run_experiment(args.id, engine=_build_engine(args)))
     elif args.command == "sweep":
@@ -496,6 +606,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(_run_cache_migrate(args.cache_dir, args.store_dir))
         else:  # pragma: no cover - argparse enforces choices
             raise AssertionError(args.cache_command)
+    elif args.command == "trace":
+        from repro.obs.trace import main as trace_main
+
+        print(trace_main(args.file))
     elif args.command == "bench":
         from repro.sweep.bench import run_from_args
 
@@ -511,6 +625,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.command)
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    from repro import obs
+
+    try:
+        tel = obs.configure(getattr(args, "telemetry", None))
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    if tel.enabled:
+        tel.set_manifest(_provenance_for(args))
+    with obs.span(f"cli.{args.command}"):
+        code = _dispatch(args)
+    summary = tel.flush()
+    if summary is not None:
+        print(summary)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -95,6 +95,19 @@ def run(
     persistent cache; the in-run memo below still guarantees each
     configuration is modelled at most once per run either way.
     """
+    from repro import obs
+
+    with obs.span("experiment.budgeted-search", device=spec.name, n=n):
+        return _run_scored(spec, n, budget_fractions, seed, engine)
+
+
+def _run_scored(
+    spec: GPUSpec,
+    n: int,
+    budget_fractions: tuple[float, ...],
+    seed: int,
+    engine: "SweepEngine | None",
+) -> BudgetedSearchResult:
     app = MatmulGPUApp(spec)
     space = app.config_space()
     size = space.size()

@@ -133,21 +133,24 @@ class Fig2Result:
 
 def run(n: int = N_PAPER, *, engine: "SweepEngine | None" = None) -> Fig2Result:
     """Regenerate the Fig. 2 analysis (optionally through a sweep engine)."""
-    app = MatmulGPUApp(P100)
-    points = app.sweep_points(n, engine=engine)
+    from repro import obs
 
-    low = [p for p in points if p.config["bs"] <= 20]
-    bs30 = [p for p in points if p.config["bs"] <= 30]
-    if not low or not bs30:
-        raise RuntimeError("sweep did not populate the Fig. 2 regions")
+    with obs.span("experiment.fig2", n=n):
+        app = MatmulGPUApp(P100)
+        points = app.sweep_points(n, engine=engine)
 
-    return Fig2Result(
-        n=n,
-        all_points=tuple(points),
-        low_bs_monotone_fraction=monotone_fraction(low),
-        low_bs_rank_correlation=rank_correlation(low),
-        global_front=tuple(pareto_front(points)),
-        global_headline=max_energy_saving(points),
-        bs30_front=tuple(pareto_front(bs30)),
-        bs30_headline=max_energy_saving(bs30),
-    )
+        low = [p for p in points if p.config["bs"] <= 20]
+        bs30 = [p for p in points if p.config["bs"] <= 30]
+        if not low or not bs30:
+            raise RuntimeError("sweep did not populate the Fig. 2 regions")
+
+        return Fig2Result(
+            n=n,
+            all_points=tuple(points),
+            low_bs_monotone_fraction=monotone_fraction(low),
+            low_bs_rank_correlation=rank_correlation(low),
+            global_front=tuple(pareto_front(points)),
+            global_headline=max_energy_saving(points),
+            bs30_front=tuple(pareto_front(bs30)),
+            bs30_headline=max_energy_saving(bs30),
+        )

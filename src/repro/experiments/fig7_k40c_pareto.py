@@ -94,11 +94,14 @@ def run(
     :class:`repro.sweep.SweepEngine` (parallelism / caching); the
     default is the in-process serial path.
     """
-    app = MatmulGPUApp(K40C)
-    studies = []
-    for n in sizes:
-        points = app.sweep_points(n, engine=engine)
-        studies.append(
-            weak_ep_study("k40c", n, points, region=_local_region)
-        )
-    return Fig7Result(studies=tuple(studies))
+    from repro import obs
+
+    with obs.span("experiment.fig7", sizes=len(sizes)):
+        app = MatmulGPUApp(K40C)
+        studies = []
+        for n in sizes:
+            points = app.sweep_points(n, engine=engine)
+            studies.append(
+                weak_ep_study("k40c", n, points, region=_local_region)
+            )
+        return Fig7Result(studies=tuple(studies))

@@ -90,9 +90,12 @@ def run(
     engine: "SweepEngine | None" = None,
 ) -> Fig8Result:
     """Regenerate the Fig. 8 analysis (optionally through a sweep engine)."""
-    app = MatmulGPUApp(P100)
-    studies = []
-    for n in sizes:
-        points = app.sweep_points(n, engine=engine)
-        studies.append(weak_ep_study("p100", n, points))
-    return Fig8Result(studies=tuple(studies))
+    from repro import obs
+
+    with obs.span("experiment.fig8", sizes=len(sizes)):
+        app = MatmulGPUApp(P100)
+        studies = []
+        for n in sizes:
+            points = app.sweep_points(n, engine=engine)
+            studies.append(weak_ep_study("p100", n, points))
+        return Fig8Result(studies=tuple(studies))

@@ -150,11 +150,17 @@ def run(
     engine: "SweepEngine | None" = None,
 ) -> HeadlineResult:
     """Aggregate the headline statistics over the workload ranges."""
+    from repro import obs
+
     if sizes is None:
         sizes = DEFAULT_SIZES
-    return HeadlineResult(
-        devices=(
-            _analyze(K40C, sizes["k40c"], engine),
-            _analyze(P100, sizes["p100"], engine),
+    with obs.span(
+        "experiment.headline",
+        sizes=sum(len(v) for v in sizes.values()),
+    ):
+        return HeadlineResult(
+            devices=(
+                _analyze(K40C, sizes["k40c"], engine),
+                _analyze(P100, sizes["p100"], engine),
+            )
         )
-    )

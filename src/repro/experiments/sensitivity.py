@@ -125,25 +125,30 @@ def run(
     engine-backed run caches each perturbation separately and a repeat
     run is pure cache hits.
     """
-    rows = []
-    for name in PERTURBED_CONSTANTS:
-        k_held = 0
-        p_held = 0
-        for factor in FACTORS:
-            k_cal = dataclasses.replace(
-                K40C_CAL, **{name: getattr(K40C_CAL, name) * factor}
+    from repro import obs
+
+    with obs.span(
+        "experiment.sensitivity", n=n, constants=len(PERTURBED_CONSTANTS)
+    ):
+        rows = []
+        for name in PERTURBED_CONSTANTS:
+            k_held = 0
+            p_held = 0
+            for factor in FACTORS:
+                k_cal = dataclasses.replace(
+                    K40C_CAL, **{name: getattr(K40C_CAL, name) * factor}
+                )
+                p_cal = dataclasses.replace(
+                    P100_CAL, **{name: getattr(P100_CAL, name) * factor}
+                )
+                k_held += _k40c_verdict(k_cal, n, engine)
+                p_held += _p100_verdict(p_cal, n, engine)
+            rows.append(
+                SensitivityRow(
+                    constant=name,
+                    k40c_verdict_held=k_held,
+                    p100_verdict_held=p_held,
+                    trials=len(FACTORS),
+                )
             )
-            p_cal = dataclasses.replace(
-                P100_CAL, **{name: getattr(P100_CAL, name) * factor}
-            )
-            k_held += _k40c_verdict(k_cal, n, engine)
-            p_held += _p100_verdict(p_cal, n, engine)
-        rows.append(
-            SensitivityRow(
-                constant=name,
-                k40c_verdict_held=k_held,
-                p100_verdict_held=p_held,
-                trials=len(FACTORS),
-            )
-        )
-    return SensitivityResult(rows=tuple(rows), n=n)
+        return SensitivityResult(rows=tuple(rows), n=n)

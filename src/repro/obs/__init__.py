@@ -1,0 +1,43 @@
+"""``repro.obs`` — zero-dependency telemetry for the sweep pipeline.
+
+Three pieces (see ``docs/MODEL.md`` §6 for the span taxonomy, the
+metric namespace and the manifest schema):
+
+* hierarchical **spans** with monotonic timings and attributes
+  (:func:`span`),
+* a process-wide **metrics registry** — counters, gauges, histogram
+  summaries (:func:`count` / :func:`gauge` / :func:`observe`),
+* a **run-provenance manifest** (:func:`repro.obs.provenance.run_manifest`)
+  attached to every experiment output.
+
+Off by default: the module-level helpers are no-ops until the CLI (or
+a test) installs an enabled :class:`Telemetry` via :func:`configure`.
+"""
+
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    HistogramSummary,
+    SpanRecord,
+    Telemetry,
+    configure,
+    count,
+    gauge,
+    get_telemetry,
+    observe,
+    set_telemetry,
+    span,
+)
+
+__all__ = [
+    "TELEMETRY_FORMAT",
+    "HistogramSummary",
+    "SpanRecord",
+    "Telemetry",
+    "configure",
+    "count",
+    "gauge",
+    "get_telemetry",
+    "observe",
+    "set_telemetry",
+    "span",
+]

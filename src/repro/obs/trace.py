@@ -1,0 +1,141 @@
+"""``repro trace``: render a telemetry JSONL file as a span tree.
+
+Reads the event stream a ``--telemetry jsonl:PATH`` run wrote and
+prints (a) the provenance manifest, (b) the span tree with wall time,
+*self* time (wall minus the wall of direct children — where time was
+actually spent, not just passed through) and attributes, and (c) the
+top metrics.  Pure stdlib; tolerant of streams from newer minor
+versions (unknown events are skipped).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_events", "render_trace", "main"]
+
+
+def load_events(path: str | Path) -> list[dict[str, Any]]:
+    """Parse one JSON object per line; raises ValueError on garbage."""
+    events = []
+    text = Path(path).read_text()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON event line ({exc})"
+            ) from None
+        if not isinstance(event, dict) or "event" not in event:
+            raise ValueError(f"{path}:{lineno}: not a telemetry event")
+        events.append(event)
+    if not events:
+        raise ValueError(f"{path}: empty telemetry stream")
+    return events
+
+
+def _fmt_ms(ns: int) -> str:
+    return f"{ns / 1e6:9.2f}"
+
+
+def _fmt_attrs(attrs: dict[str, Any]) -> str:
+    if not attrs:
+        return ""
+    inner = ", ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+    return f"  [{inner}]"
+
+
+def render_trace(events: list[dict[str, Any]]) -> str:
+    """Human-readable report of one telemetry event stream."""
+    spans = [e for e in events if e.get("event") == "span"]
+    metrics = next(
+        (e for e in events if e.get("event") == "metrics"), None
+    )
+    provenance = next(
+        (e for e in events if e.get("event") == "provenance"), None
+    )
+
+    lines: list[str] = []
+    if provenance is not None:
+        lines.append("provenance:")
+        for key in (
+            "command",
+            "git_sha",
+            "model_version",
+            "backend",
+            "inputs_digest",
+            "requests",
+        ):
+            if key in provenance:
+                lines.append(f"  {key:<14} {provenance[key]}")
+        for device, digest in sorted(
+            (provenance.get("calibrations") or {}).items()
+        ):
+            lines.append(f"  calibration    {device}: {digest[:16]}")
+        lines.append("")
+
+    if spans:
+        children: dict[int | None, list[dict[str, Any]]] = {}
+        for s in sorted(spans, key=lambda s: s["id"]):
+            children.setdefault(s.get("parent"), []).append(s)
+        total_ns = sum(s["duration_ns"] for s in children.get(None, []))
+        lines.append(
+            f"span tree ({len(spans)} spans, "
+            f"{total_ns / 1e6:.2f} ms total):"
+        )
+        lines.append(
+            f"  {'wall ms':>9} {'self ms':>9}  span"
+        )
+
+        def walk(parent: int | None, depth: int) -> None:
+            for s in children.get(parent, []):
+                child_ns = sum(
+                    c["duration_ns"] for c in children.get(s["id"], [])
+                )
+                self_ns = max(0, s["duration_ns"] - child_ns)
+                lines.append(
+                    f"  {_fmt_ms(s['duration_ns'])} {_fmt_ms(self_ns)}  "
+                    f"{'  ' * depth}{s['name']}"
+                    f"{_fmt_attrs(s.get('attrs') or {})}"
+                )
+                walk(s["id"], depth + 1)
+
+        walk(None, 0)
+        lines.append("")
+
+    if metrics is not None:
+        counters = metrics.get("counters") or {}
+        gauges = metrics.get("gauges") or {}
+        histograms = metrics.get("histograms") or {}
+        if counters or gauges or histograms:
+            lines.append("metrics:")
+        for name, value in sorted(counters.items()):
+            lines.append(f"  {name:<44} {value}")
+        for name, value in sorted(gauges.items()):
+            lines.append(f"  {name:<44} {value:.6g}")
+        for name, hist in sorted(histograms.items()):
+            lines.append(
+                f"  {name:<44} n={hist.get('count', 0)} "
+                f"mean={hist.get('mean', 0.0):.6g} "
+                f"min={hist.get('min', 0.0):.6g} "
+                f"max={hist.get('max', 0.0):.6g}"
+            )
+
+    return "\n".join(lines).rstrip()
+
+
+def main(path: str | Path) -> str:
+    """Load + render, with CLI-grade errors (``repro trace`` body)."""
+    target = Path(path)
+    if not target.is_file():
+        raise SystemExit(f"repro trace: no such file: {target}")
+    try:
+        events = load_events(target)
+    except ValueError as exc:
+        raise SystemExit(f"repro trace: {exc}") from None
+    return render_trace(events)

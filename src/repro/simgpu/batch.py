@@ -40,10 +40,12 @@ stay keyed to it (see :mod:`repro.sweep.keys`).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.machines.specs import GPUSpec
 from repro.simgpu.calibration import GPUCalibration, calibration_for
 from repro.simgpu.dvfs import MIN_CLOCK_FRACTION
@@ -408,10 +410,18 @@ def batch_run_matmul(
     else:
         n, bs, g, r = (np.ravel(a) for a in (n, bs, g, r))
     _validate(spec, n, bs, g, r)
-    k = _lane_constants(spec, cal, n, bs, g, r)
-    dynamic_w, t_launch, clock, throttled = _evaluate_lanes(spec, cal, k)
-    time_s = k.r * t_launch
-    energy_j = dynamic_w * time_s
+    lanes = int(n.size)
+    t0 = time.perf_counter()
+    with obs.span("batch.run_matmul", device=spec.name, lanes=lanes):
+        k = _lane_constants(spec, cal, n, bs, g, r)
+        dynamic_w, t_launch, clock, throttled = _evaluate_lanes(spec, cal, k)
+        time_s = k.r * t_launch
+        energy_j = dynamic_w * time_s
+    elapsed = time.perf_counter() - t0
+    obs.count("batch.calls")
+    obs.count("batch.points", lanes)
+    if elapsed > 0.0:
+        obs.observe("batch.points_per_sec", lanes / elapsed)
     return BatchRunResult(
         time_s=time_s,
         dynamic_energy_j=energy_j,

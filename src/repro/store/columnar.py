@@ -30,6 +30,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import warnings
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -37,6 +38,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import obs
 from repro.machines.specs import GPUSpec
 from repro.simgpu.calibration import GPUCalibration
 from repro.sweep.keys import MODEL_VERSION, shard_digest
@@ -46,11 +48,24 @@ __all__ = [
     "MANIFEST_FORMAT",
     "ShardKey",
     "ColumnarStore",
+    "StoreIntegrityWarning",
     "shard_key",
     "pack_config",
     "pack_configs",
     "unpack_config",
 ]
+
+
+class StoreIntegrityWarning(UserWarning):
+    """A shard could not be trusted and its points will be recomputed.
+
+    Emitted (once per shard load) when a shard file is corrupt,
+    truncated, or structurally stale at its address.  Correctness is
+    unaffected — the shard reads as empty and the points are
+    recomputed — but silent recomputes hide lost cache capacity, so
+    the event is surfaced here and counted under
+    ``store.shard.recompute_fallbacks``.
+    """
 
 SHARD_FORMAT = "repro-sweep-store/1"
 MANIFEST_FORMAT = "repro-sweep-store-manifest/1"
@@ -184,7 +199,31 @@ class ColumnarStore:
         self.root = Path(root).expanduser()
         #: Corrupt shard files observed by loads.
         self.corrupt_shards = 0
+        #: Structurally sound shards rejected for identity/version
+        #: mismatch at their address (e.g. a stale model version).
+        self.stale_shards = 0
         self._shards: dict[str, _Shard] = {}
+
+    def _recompute_fallback(self, path: Path, reason: str) -> None:
+        """Surface one untrusted-shard event (warning + obs counters).
+
+        ``reason`` is ``"corrupt"`` (unreadable/torn/inconsistent
+        columns) or ``"stale"`` (readable but the identity metadata
+        does not match the address).
+        """
+        if reason == "stale":
+            self.stale_shards += 1
+        else:
+            self.corrupt_shards += 1
+        obs.count(f"store.shard.{reason}")
+        obs.count("store.shard.recompute_fallbacks")
+        warnings.warn(
+            f"sweep store: {reason} shard {path.name} ignored; its "
+            f"points will be recomputed and the shard rewritten on the "
+            f"next append",
+            StoreIntegrityWarning,
+            stacklevel=3,
+        )
 
     # -- paths --------------------------------------------------------------
 
@@ -214,23 +253,31 @@ class ColumnarStore:
         except FileNotFoundError:
             return _EMPTY
         except _LOAD_ERRORS + (json.JSONDecodeError,):
-            self.corrupt_shards += 1
+            self._recompute_fallback(path, "corrupt")
             return _EMPTY
-        if not self._shard_is_sound(key, meta, shard):
-            self.corrupt_shards += 1
+        reason = self._shard_rejection(key, meta, shard)
+        if reason is not None:
+            self._recompute_fallback(path, reason)
             return _EMPTY
         return shard
 
     @staticmethod
-    def _shard_is_sound(key: ShardKey, meta: dict[str, Any], shard: _Shard) -> bool:
-        """Reject shards that cannot be trusted at this address."""
+    def _shard_rejection(
+        key: ShardKey, meta: dict[str, Any], shard: _Shard
+    ) -> str | None:
+        """Why a shard cannot be trusted at this address (None = sound).
+
+        ``"stale"`` — the file is readable and well-formed but its
+        identity metadata does not match the address (renamed/copied
+        file, or a shard written by a different model version: its
+        digest differs, so stale results never leak).  ``"corrupt"`` —
+        anything structurally broken: wrong format tag, ragged
+        columns, unsorted keys, non-finite objectives.
+        """
         if not isinstance(meta, dict):
-            return False
+            return "corrupt"
         if meta.get("format") != SHARD_FORMAT:
-            return False
-        # A file renamed/copied to the wrong address never lies, and a
-        # shard written by a different model version never leaks stale
-        # results (its digest differs, so its identity check fails).
+            return "corrupt"
         if (
             meta.get("digest") != key.digest
             or meta.get("model_version") != key.model_version
@@ -238,19 +285,19 @@ class ColumnarStore:
             or meta.get("device") != key.device
             or meta.get("n") != key.n
         ):
-            return False
+            return "stale"
         m = len(shard.packed)
         if not all(
             len(col) == m
             for col in (shard.bs, shard.g, shard.r, shard.time_s, shard.energy_j)
         ):
-            return False
+            return "corrupt"
         if m and not (np.diff(shard.packed) > 0).all():
-            return False  # lookups require sorted unique keys
+            return "corrupt"  # lookups require sorted unique keys
         finite = np.isfinite(shard.time_s).all() and np.isfinite(shard.energy_j).all()
         if not finite or (shard.time_s < 0).any() or (shard.energy_j < 0).any():
-            return False
-        return True
+            return "corrupt"
+        return None
 
     def _shard(self, key: ShardKey) -> _Shard:
         shard = self._shards.get(key.digest)
@@ -269,19 +316,28 @@ class ColumnarStore:
         One vectorized pass: returns ``(time_s, energy_j, hit)`` arrays
         aligned with ``packed``; miss lanes hold NaN objectives.
         """
-        shard = self._shard(key)
-        m = len(packed)
-        times = np.full(m, np.nan)
-        energies = np.full(m, np.nan)
-        hit = np.zeros(m, dtype=bool)
-        if len(shard) and m:
-            pos = np.searchsorted(shard.packed, packed)
-            in_range = pos < len(shard)
-            pos_safe = np.where(in_range, pos, 0)
-            hit = in_range & (shard.packed[pos_safe] == packed)
-            times[hit] = shard.time_s[pos_safe[hit]]
-            energies[hit] = shard.energy_j[pos_safe[hit]]
-        return times, energies, hit
+        with obs.span(
+            "store.lookup",
+            device=key.device,
+            n=key.n,
+            points=len(packed),
+        ):
+            shard = self._shard(key)
+            m = len(packed)
+            times = np.full(m, np.nan)
+            energies = np.full(m, np.nan)
+            hit = np.zeros(m, dtype=bool)
+            if len(shard) and m:
+                pos = np.searchsorted(shard.packed, packed)
+                in_range = pos < len(shard)
+                pos_safe = np.where(in_range, pos, 0)
+                hit = in_range & (shard.packed[pos_safe] == packed)
+                times[hit] = shard.time_s[pos_safe[hit]]
+                energies[hit] = shard.energy_j[pos_safe[hit]]
+            hits = int(hit.sum())
+            obs.count("store.shard.hits", hits)
+            obs.count("store.shard.misses", m - hits)
+            return times, energies, hit
 
     def shard_points(self, key: ShardKey) -> int:
         """Number of points stored for one shard identity."""
@@ -312,6 +368,21 @@ class ColumnarStore:
         energy_j = np.asarray(energy_j, dtype=np.float64)
         packed = (bs << (2 * _FIELD_BITS)) | (g << _FIELD_BITS) | r
 
+        with obs.span(
+            "store.append", device=key.device, n=key.n, points=len(packed)
+        ):
+            return self._append_merged(key, bs, g, r, time_s, energy_j, packed)
+
+    def _append_merged(
+        self,
+        key: ShardKey,
+        bs: np.ndarray,
+        g: np.ndarray,
+        r: np.ndarray,
+        time_s: np.ndarray,
+        energy_j: np.ndarray,
+        packed: np.ndarray,
+    ) -> int:
         current = self._read_shard(key)  # fresh: pick up concurrent rows
         all_packed = np.concatenate([current.packed, packed])
         # np.unique keeps the first occurrence per duplicate, i.e. the
@@ -328,6 +399,8 @@ class ColumnarStore:
         self._write_shard(key, merged)
         self._shards[key.digest] = merged
         self._update_manifest(key, len(merged))
+        obs.count("store.shard.appends")
+        obs.count("store.points.appended", len(packed))
         return len(merged)
 
     def _write_shard(self, key: ShardKey, shard: _Shard) -> None:
@@ -404,6 +477,7 @@ class ColumnarStore:
         counted in :attr:`corrupt_shards`.
         """
         doc: dict[str, Any] = {"format": MANIFEST_FORMAT, "shards": {}}
+        obs.count("store.manifest.rebuilds")
         if self.root.is_dir():
             for path in sorted(self.root.glob("*.npz")):
                 try:

@@ -49,6 +49,13 @@ the identical sweep would measure an artifact of the benchmark loop,
 not the fresh-sweep cost users pay.  Caches keyed only by BS
 (``avg_rows_per_warp``), which are legitimately shared across sweeps,
 stay warm.
+
+The ``telemetry_overhead`` section times the warm planner session with
+telemetry off and on (``repro.obs``); the run fails if the on-path
+overhead exceeds :data:`TELEMETRY_OVERHEAD_LIMIT` (5%), and the
+instrumented run's event stream lands next to ``--output`` as
+``BENCH_telemetry.jsonl`` (a ``repro trace`` input; CI uploads it as
+an artifact).
 """
 
 from __future__ import annotations
@@ -75,8 +82,14 @@ __all__ = [
 
 #: Schema tag of the BENCH_sweep.json document.  ``/2`` added the
 #: per-case ``auto_mode`` field and the session-level ``planner``
-#: section.
-BENCH_VERSION = "repro-bench/2"
+#: section; ``/3`` added ``telemetry_overhead`` (warm planner session
+#: with telemetry recording on vs off) and the telemetry JSONL
+#: artifact.
+BENCH_VERSION = "repro-bench/3"
+
+#: CI gate: telemetry-on may cost at most this fraction over
+#: telemetry-off on the warm planner session case.
+TELEMETRY_OVERHEAD_LIMIT = 0.05
 
 #: The paper-scale P100 sweeps the benchmark times by default.
 DEFAULT_SIZES = (10240, 18432)
@@ -281,6 +294,73 @@ def _bench_planner(sizes: Sequence[int], *, repeats: int) -> dict:
     }
 
 
+def _bench_telemetry(
+    sizes: Sequence[int],
+    *,
+    repeats: int,
+    jsonl_path: str | Path | None = None,
+) -> dict:
+    """Time the warm planner session with telemetry off vs on.
+
+    The on-path runs with an enabled in-memory registry (recording
+    spans, counters and histograms exactly like ``--telemetry
+    summary``); sink I/O happens once, after timing, when
+    ``jsonl_path`` is given — that capture is the CI telemetry
+    artifact.  The overhead fraction feeds the bench-smoke gate
+    (:data:`TELEMETRY_OVERHEAD_LIMIT`).
+    """
+    from repro import obs
+    from repro.obs.provenance import run_manifest
+    from repro.sweep.planner import EvalPlanner
+
+    requests = _planner_requests(sizes)
+    # The comparison is a ratio of two ~10 ms measurements; a single
+    # noisy sample would dominate it, so floor the repeat count even
+    # under --quick.
+    repeats = max(5, repeats)
+
+    def session(store_dir) -> None:
+        planner = EvalPlanner(store_dir=store_dir)
+        planner.add_all(requests)
+        planner.execute()
+        for request in requests:
+            planner.table(request)
+
+    prev = obs.get_telemetry()
+    try:
+        with tempfile.TemporaryDirectory() as d:
+            session(d)  # fill the store once: both paths measure warm
+            obs.set_telemetry(obs.Telemetry("off"))
+            off_s = _best_of(lambda: session(d), repeats)
+
+            def on_session() -> None:
+                # Fresh registry per run so recording cost, not list
+                # growth across runs, is what gets measured.
+                obs.set_telemetry(obs.Telemetry("summary"))
+                session(d)
+
+            on_s = _best_of(on_session, repeats)
+            if jsonl_path is not None:
+                tel = obs.set_telemetry(obs.Telemetry("jsonl", jsonl_path))
+                tel.set_manifest(
+                    run_manifest(
+                        "bench", backend="vectorized", requests=requests
+                    )
+                )
+                session(d)
+                tel.write_jsonl()
+    finally:
+        obs.set_telemetry(prev)
+
+    return {
+        "planner_warm_off_s": off_s,
+        "planner_warm_on_s": on_s,
+        "overhead_frac": on_s / off_s - 1.0,
+        "limit_frac": TELEMETRY_OVERHEAD_LIMIT,
+        "jsonl": str(jsonl_path) if jsonl_path is not None else None,
+    }
+
+
 def run_benchmark(
     *,
     device: str = "p100",
@@ -289,6 +369,7 @@ def run_benchmark(
     jobs: int | None = None,
     parallel: bool = True,
     planner: bool = True,
+    telemetry_jsonl: str | Path | None = None,
 ) -> dict:
     """Run the backend benchmark; returns the BENCH_sweep.json document."""
     if repeats < 1:
@@ -311,6 +392,9 @@ def run_benchmark(
     }
     if planner:
         doc["planner"] = _bench_planner(sizes, repeats=repeats)
+        doc["telemetry_overhead"] = _bench_telemetry(
+            sizes, repeats=repeats, jsonl_path=telemetry_jsonl
+        )
     return doc
 
 
@@ -379,6 +463,17 @@ def format_results(doc: dict) -> str:
                 ],
             )
         )
+    t = doc.get("telemetry_overhead")
+    if t is not None:
+        out += (
+            f"\n\ntelemetry overhead (warm planner session): "
+            f"off {t['planner_warm_off_s'] * 1e3:.2f} ms, "
+            f"on {t['planner_warm_on_s'] * 1e3:.2f} ms "
+            f"({t['overhead_frac'] * 100:+.1f}%, limit "
+            f"{t['limit_frac'] * 100:.0f}%)"
+        )
+        if t.get("jsonl"):
+            out += f"\ntelemetry event stream: {t['jsonl']}"
     return out
 
 
@@ -395,8 +490,10 @@ def add_bench_flags(parser: argparse.ArgumentParser) -> None:
         "--repeats", type=int, default=5,
         help="timing repeats per backend; wall-clock is the minimum",
     )
+    from repro.cli import positive_int
+
     parser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
+        "--jobs", type=positive_int, default=None, metavar="N",
         help="workers for the parallel case (default: min(8, cpus))",
     )
     parser.add_argument(
@@ -417,6 +514,14 @@ def add_bench_flags(parser: argparse.ArgumentParser) -> None:
         "--output", default="BENCH_sweep.json", metavar="FILE",
         help="where to write the JSON document (default BENCH_sweep.json)",
     )
+    parser.add_argument(
+        "--telemetry-output", default=None, metavar="FILE",
+        help=(
+            "where to write the planner session's telemetry event "
+            "stream (`repro trace` input; CI uploads it as an "
+            "artifact; default: BENCH_telemetry.jsonl next to --output)"
+        ),
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -427,6 +532,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     than the per-experiment baseline — the benchmark doubles as a perf
     regression gate (CI runs it with ``--quick``).
     """
+    telemetry_jsonl = args.telemetry_output
+    if telemetry_jsonl is None:
+        telemetry_jsonl = str(
+            Path(args.output).parent / "BENCH_telemetry.jsonl"
+        )
     doc = run_benchmark(
         device=args.device,
         sizes=args.sizes,
@@ -434,6 +544,7 @@ def run_from_args(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         parallel=not (args.no_parallel or args.quick),
         planner=not args.no_planner,
+        telemetry_jsonl=telemetry_jsonl,
     )
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
     print(format_results(doc))
@@ -457,6 +568,19 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"FAIL: warm-store planner slower than the per-experiment "
             f"baseline ({planner['speedup_warm']:.2f}x) — perf "
             f"regression",
+            file=sys.stderr,
+        )
+        failed = True
+    telemetry = doc.get("telemetry_overhead")
+    if (
+        telemetry is not None
+        and telemetry["overhead_frac"] > TELEMETRY_OVERHEAD_LIMIT
+    ):
+        print(
+            f"FAIL: telemetry-on overhead "
+            f"{telemetry['overhead_frac'] * 100:.1f}% exceeds the "
+            f"{TELEMETRY_OVERHEAD_LIMIT * 100:.0f}% limit on the warm "
+            f"planner session — instrumentation regression",
             file=sys.stderr,
         )
         failed = True

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.apps.matmul_gpu import MatmulConfig
 from repro.core.pareto import ParetoPoint
 from repro.machines.specs import GPUSpec
@@ -45,7 +46,7 @@ from repro.simgpu.calibration import GPUCalibration
 from repro.sweep.cache import CacheRecord, SweepCache
 from repro.sweep.keys import MODEL_VERSION, sweep_key
 from repro.sweep.plan import SweepRequest
-from repro.sweep.worker import evaluate_chunk, evaluate_one
+from repro.sweep.worker import evaluate_chunk, evaluate_chunk_timed, evaluate_one
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.columnar import ColumnarStore
@@ -121,6 +122,7 @@ class SweepStats:
     def record_mode(self, mode: str, points: int) -> None:
         self.last_mode = mode
         self.mode_points[mode] = self.mode_points.get(mode, 0) + points
+        obs.count(f"sweep.mode.{mode}", points)
 
 
 class SweepEngine:
@@ -267,51 +269,64 @@ class SweepEngine:
         cal = request.calibration
         n = request.n
         self.stats.requested += len(configs)
-        if self.store is not None:
-            return self._evaluate_with_store(spec, cal, n, configs)
+        obs.count("sweep.points.requested", len(configs))
+        with obs.span(
+            "engine.evaluate_configs",
+            device=spec.name,
+            n=n,
+            backend=self.backend,
+            points=len(configs),
+        ):
+            if self.store is not None:
+                return self._evaluate_with_store(spec, cal, n, configs)
 
-        keys: list[str | None] = [None] * len(configs)
-        objectives: list[tuple[float, float] | None] = [None] * len(configs)
-        missing: list[int] = []
-        for i, cfg in enumerate(configs):
-            if self.cache is not None:
-                key = sweep_key(
-                    spec, cal, n, cfg.as_dict(), backend=self.backend
-                )
-                keys[i] = key
-                record = self.cache.get(key)
-                if record is not None:
-                    objectives[i] = (record.time_s, record.energy_j)
-                    self.stats.cache_hits += 1
-                    continue
-            missing.append(i)
-
-        if missing:
-            computed = self._compute(
-                spec, cal, n, [configs[i] for i in missing]
-            )
-            self.stats.computed += len(missing)
-            for i, obj in zip(missing, computed):
-                objectives[i] = obj
+            keys: list[str | None] = [None] * len(configs)
+            objectives: list[tuple[float, float] | None] = [None] * len(configs)
+            missing: list[int] = []
+            hits = 0
+            for i, cfg in enumerate(configs):
                 if self.cache is not None:
-                    self.cache.put(
-                        CacheRecord(
-                            key=keys[i],  # type: ignore[arg-type]
-                            device=spec.name,
-                            n=n,
-                            config=configs[i].as_dict(),
-                            time_s=obj[0],
-                            energy_j=obj[1],
-                            model_version=MODEL_VERSION,
-                        )
+                    key = sweep_key(
+                        spec, cal, n, cfg.as_dict(), backend=self.backend
                     )
+                    keys[i] = key
+                    record = self.cache.get(key)
+                    if record is not None:
+                        objectives[i] = (record.time_s, record.energy_j)
+                        hits += 1
+                        continue
+                missing.append(i)
+            self.stats.cache_hits += hits
+            obs.count("sweep.cache.hits", hits)
+            obs.count("sweep.cache.misses", len(missing))
 
-        return [
-            ParetoPoint(
-                time_s=obj[0], energy_j=obj[1], config=cfg.as_dict()
-            )
-            for cfg, obj in zip(configs, objectives)
-        ]
+            if missing:
+                computed = self._compute(
+                    spec, cal, n, [configs[i] for i in missing]
+                )
+                self.stats.computed += len(missing)
+                obs.count("sweep.points.computed", len(missing))
+                for i, obj in zip(missing, computed):
+                    objectives[i] = obj
+                    if self.cache is not None:
+                        self.cache.put(
+                            CacheRecord(
+                                key=keys[i],  # type: ignore[arg-type]
+                                device=spec.name,
+                                n=n,
+                                config=configs[i].as_dict(),
+                                time_s=obj[0],
+                                energy_j=obj[1],
+                                model_version=MODEL_VERSION,
+                            )
+                        )
+
+            return [
+                ParetoPoint(
+                    time_s=obj[0], energy_j=obj[1], config=cfg.as_dict()
+                )
+                for cfg, obj in zip(configs, objectives)
+            ]
 
     # -- columnar-store path ------------------------------------------------
 
@@ -337,11 +352,14 @@ class SweepEngine:
         times, energies, hit = self.store.lookup(key, packed)
         miss = np.flatnonzero(~hit)
         self.stats.cache_hits += int(hit.sum())
+        obs.count("sweep.cache.hits", int(hit.sum()))
+        obs.count("sweep.cache.misses", int(miss.size))
         if miss.size:
             computed = self._compute(
                 spec, cal, n, [configs[i] for i in miss]
             )
             self.stats.computed += miss.size
+            obs.count("sweep.points.computed", int(miss.size))
             t_new = np.array([obj[0] for obj in computed])
             e_new = np.array([obj[1] for obj in computed])
             times[miss] = t_new
@@ -386,12 +404,37 @@ class SweepEngine:
         chunks = [
             configs[i : i + size] for i in range(0, len(configs), size)
         ]
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            futures = [
-                pool.submit(evaluate_chunk, spec, cal, n, chunk)
-                for chunk in chunks
-            ]
-            results: list[tuple[float, float]] = []
-            for future in futures:
-                results.extend(future.result())
+        tel = obs.get_telemetry()
+        with obs.span(
+            "engine.pool_fill",
+            device=spec.name,
+            n=n,
+            jobs=self.jobs,
+            chunks=len(chunks),
+            points=len(configs),
+        ):
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                results: list[tuple[float, float]] = []
+                if tel.enabled:
+                    # Workers cannot reach the parent registry, so they
+                    # report their own wall time and the parent
+                    # aggregates it here (chunk count, per-chunk wall
+                    # histogram, total worker-side compute seconds).
+                    futures = [
+                        pool.submit(evaluate_chunk_timed, spec, cal, n, chunk)
+                        for chunk in chunks
+                    ]
+                    for future in futures:
+                        values, wall_s = future.result()
+                        results.extend(values)
+                        tel.count("sweep.worker.chunks")
+                        tel.observe("sweep.worker.chunk_wall_s", wall_s)
+                    tel.count("sweep.worker.points", len(configs))
+                else:
+                    futures = [
+                        pool.submit(evaluate_chunk, spec, cal, n, chunk)
+                        for chunk in chunks
+                    ]
+                    for future in futures:
+                        results.extend(future.result())
         return results

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.apps.matmul_gpu import MatmulConfig
 from repro.core.pareto import ParetoPoint
 from repro.machines.specs import GPUSpec
@@ -220,6 +221,7 @@ class EvalPlanner:
         packed, _, _, _ = pack_configs(configs)
         group.pending.append(packed)
         self.stats.requested += len(packed)
+        obs.count("planner.points.requested", len(packed))
 
     def add_all(self, requests) -> None:
         for request in requests:
@@ -233,34 +235,41 @@ class EvalPlanner:
         Idempotent — pending sets are drained, and re-adding known
         points is free.  Returns :attr:`stats`.
         """
-        fills: dict[
-            tuple[GPUSpec, GPUCalibration], list[tuple[_GroupState, np.ndarray]]
-        ] = {}
-        for group in self._groups.values():
-            if not group.pending:
-                continue
-            packed = np.unique(np.concatenate(group.pending))
-            group.pending.clear()
-            packed = packed[~group.known_mask(packed)]
-            if not packed.size:
-                continue
-            if self.store is not None:
-                times, energies, hit = self.store.lookup(group.key, packed)
-                hits = int(hit.sum())
-                if hits:
-                    group.merge(packed[hit], times[hit], energies[hit])
-                    self.stats.store_hits += hits
-                packed = packed[~hit]
-            if packed.size:
-                fills.setdefault((group.spec, group.cal), []).append(
-                    (group, packed)
-                )
-        for (spec, cal), entries in fills.items():
-            self._fill(spec, cal, entries)
-        self.stats.unique_points = sum(
-            len(g.packed) for g in self._groups.values()
-        )
-        return self.stats
+        with obs.span("planner.execute", backend=self.backend):
+            fills: dict[
+                tuple[GPUSpec, GPUCalibration], list[tuple[_GroupState, np.ndarray]]
+            ] = {}
+            with obs.span("planner.partition", groups=len(self._groups)):
+                for group in self._groups.values():
+                    if not group.pending:
+                        continue
+                    packed = np.unique(np.concatenate(group.pending))
+                    group.pending.clear()
+                    packed = packed[~group.known_mask(packed)]
+                    if not packed.size:
+                        continue
+                    if self.store is not None:
+                        times, energies, hit = self.store.lookup(
+                            group.key, packed
+                        )
+                        hits = int(hit.sum())
+                        if hits:
+                            group.merge(packed[hit], times[hit], energies[hit])
+                            self.stats.store_hits += hits
+                            obs.count("planner.store_hits", hits)
+                        packed = packed[~hit]
+                    if packed.size:
+                        fills.setdefault((group.spec, group.cal), []).append(
+                            (group, packed)
+                        )
+            for (spec, cal), entries in fills.items():
+                self._fill(spec, cal, entries)
+            self.stats.unique_points = sum(
+                len(g.packed) for g in self._groups.values()
+            )
+            obs.gauge("planner.unique_points", self.stats.unique_points)
+            obs.gauge("planner.dedup_ratio", self.stats.dedup_ratio)
+            return self.stats
 
     def _fill(
         self,
@@ -276,7 +285,27 @@ class EvalPlanner:
         bs = packed >> (2 * _FIELD_BITS)
         g = (packed >> _FIELD_BITS) & _FIELD_MASK
         r = packed & _FIELD_MASK
+        with obs.span(
+            "planner.fill_misses",
+            device=spec.name,
+            backend=self.backend,
+            points=int(len(packed)),
+            shards=len(entries),
+        ):
+            self._fill_batch(spec, cal, entries, ns, packed, bs, g, r)
 
+    def _fill_batch(
+        self,
+        spec: GPUSpec,
+        cal: GPUCalibration,
+        entries: list[tuple[_GroupState, np.ndarray]],
+        ns: np.ndarray,
+        packed: np.ndarray,
+        bs: np.ndarray,
+        g: np.ndarray,
+        r: np.ndarray,
+    ) -> None:
+        """Evaluate one mega-batch and scatter it back per shard."""
         if self.backend == "vectorized":
             from repro.simgpu.batch import batch_run_matmul
 
@@ -297,6 +326,8 @@ class EvalPlanner:
                 energies[i] = res.dynamic_energy_j
         self.stats.batches += 1
         self.stats.computed += len(packed)
+        obs.count("planner.batches")
+        obs.count("planner.points.computed", len(packed))
 
         offset = 0
         for grp, p in entries:
@@ -326,16 +357,26 @@ class EvalPlanner:
             configs = request.configs()
         from repro.store.columnar import pack_configs
 
-        group = self._group_for(request.spec, request.calibration, request.n)
-        packed, bs, g, r = pack_configs(configs)
-        unknown = ~group.known_mask(packed)
-        if unknown.any():
-            missing = np.unique(packed[unknown])
-            group.pending.append(missing)
-            self.stats.requested += len(missing)
-            self.execute()
-        times, energies = group.get(packed)
+        with obs.span(
+            "planner.serve",
+            device=request.spec.name,
+            n=request.n,
+            points=len(configs),
+        ):
+            group = self._group_for(
+                request.spec, request.calibration, request.n
+            )
+            packed, bs, g, r = pack_configs(configs)
+            unknown = ~group.known_mask(packed)
+            if unknown.any():
+                missing = np.unique(packed[unknown])
+                group.pending.append(missing)
+                self.stats.requested += len(missing)
+                obs.count("planner.points.requested", len(missing))
+                self.execute()
+            times, energies = group.get(packed)
         self.stats.served += len(configs)
+        obs.count("planner.points.served", len(configs))
         out = np.empty(len(configs), dtype=POINT_DTYPE)
         out["bs"], out["g"], out["r"] = bs, g, r
         out["time_s"], out["energy_j"] = times, energies

@@ -13,6 +13,7 @@ parallel path bit-identical to the serial one.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Sequence
 
 from repro.apps.matmul_gpu import MatmulConfig
@@ -20,7 +21,7 @@ from repro.machines.specs import GPUSpec
 from repro.simgpu.calibration import GPUCalibration
 from repro.simgpu.device import GPUDevice
 
-__all__ = ["evaluate_chunk", "evaluate_one"]
+__all__ = ["evaluate_chunk", "evaluate_chunk_timed", "evaluate_one"]
 
 
 def evaluate_one(
@@ -44,3 +45,21 @@ def evaluate_chunk(
         result = device.run_matmul(n, c.bs, c.g, c.r)
         out.append((result.time_s, result.dynamic_energy_j))
     return out
+
+
+def evaluate_chunk_timed(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    n: int,
+    configs: Sequence[MatmulConfig],
+) -> tuple[list[tuple[float, float]], float]:
+    """:func:`evaluate_chunk` plus the worker-side wall seconds.
+
+    Used by the engine when telemetry is enabled: workers have no
+    access to the parent's metrics registry, so they measure their own
+    compute time and the parent aggregates the reports (same values as
+    the untimed path — the wrapped call is identical).
+    """
+    t0 = time.perf_counter()
+    out = evaluate_chunk(spec, cal, n, configs)
+    return out, time.perf_counter() - t0

@@ -37,9 +37,19 @@ class TestEngineFlags:
         assert args.jobs == 4
         assert args.cache_dir == "/tmp/c"
 
-    def test_jobs_below_one_is_a_clean_error(self):
-        with pytest.raises(SystemExit, match="--jobs"):
+    def test_jobs_below_one_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
             main(["experiment", "fig7", "--jobs", "0"])
+        assert exc.value.code == 2  # argparse usage error, not a traceback
+        err = capsys.readouterr().err
+        assert "--jobs" in err
+        assert "must be at least 1 (got 0)" in err
+
+    def test_negative_jobs_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["sweep", "--jobs", "-3"])
+        assert exc.value.code == 2
+        assert "must be at least 1 (got -3)" in capsys.readouterr().err
 
     def test_backend_defaults_to_scalar(self):
         assert build_parser().parse_args(["sweep"]).backend == "scalar"
@@ -77,7 +87,7 @@ class TestBenchCommand:
         import json
 
         doc = json.loads(out.read_text())
-        assert doc["version"] == "repro-bench/2"
+        assert doc["version"] == "repro-bench/3"
         (case,) = doc["cases"]
         assert case["device"] == "p100" and case["n"] == 1024
         assert case["configs"] == 146

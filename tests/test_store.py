@@ -27,7 +27,11 @@ from repro.store import (
     shard_key,
     unpack_config,
 )
-from repro.store.columnar import MANIFEST_FORMAT, SHARD_FORMAT
+from repro.store.columnar import (
+    MANIFEST_FORMAT,
+    SHARD_FORMAT,
+    StoreIntegrityWarning,
+)
 from repro.sweep import SweepEngine, SweepRequest
 
 
@@ -163,7 +167,8 @@ class TestColumnarStore:
         packed, *_ = pack_configs(
             [type("C", (), {"bs": 4, "g": 2, "r": 12})()]
         )
-        _, _, hit = fresh.lookup(key, packed)
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            _, _, hit = fresh.lookup(key, packed)
         assert not hit.any()
         assert fresh.corrupt_shards == 1
 
@@ -175,7 +180,10 @@ class TestColumnarStore:
         path = store.shard_path(key)
         path.write_bytes(path.read_bytes()[:100])  # torn write
         fresh = ColumnarStore(tmp_path)
-        _, _, hit = fresh.lookup(key, np.array([pack_config(4, 2, 12)]))
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            _, _, hit = fresh.lookup(
+                key, np.array([pack_config(4, 2, 12)])
+            )
         assert not hit.any()
         assert fresh.corrupt_shards == 1
 
@@ -189,9 +197,10 @@ class TestColumnarStore:
         shutil.copy(store.shard_path(key), store.shard_path(other))
         fresh = ColumnarStore(tmp_path)
         packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
-        _, _, hit = fresh.lookup(other, packed)
+        with pytest.warns(StoreIntegrityWarning, match="stale"):
+            _, _, hit = fresh.lookup(other, packed)
         assert not hit.any()
-        assert fresh.corrupt_shards == 1
+        assert fresh.stale_shards == 1  # identity mismatch, not corruption
 
     def test_stale_model_version_is_rejected(self, tmp_path, monkeypatch):
         """A version bump must orphan old shards, not serve them."""
@@ -214,9 +223,10 @@ class TestColumnarStore:
         # the soundness check (its meta carries the old version+digest).
         shutil.copy(store.shard_path(old_key), fresh.shard_path(new_key))
         fresh2 = ColumnarStore(tmp_path)
-        _, _, hit = fresh2.lookup(new_key, packed)
+        with pytest.warns(StoreIntegrityWarning, match="stale"):
+            _, _, hit = fresh2.lookup(new_key, packed)
         assert not hit.any()
-        assert fresh2.corrupt_shards == 1
+        assert fresh2.stale_shards == 1  # old version at new address
 
     def test_manifest_tracks_appends(self, tmp_path):
         store = ColumnarStore(tmp_path)
@@ -300,7 +310,8 @@ class TestEngineWithStore:
         key = shard_key(K40C, K40C_CAL, 4096)
         engine2 = SweepEngine(store_dir=tmp_path)
         engine2.store.shard_path(key).write_bytes(b"garbage")
-        assert engine2.sweep("k40c", 4096) == full
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            assert engine2.sweep("k40c", 4096) == full
         assert engine2.stats.computed == len(full)
         # The recomputation healed the shard on disk.
         healed = SweepEngine(store_dir=tmp_path)
