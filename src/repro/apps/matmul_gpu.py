@@ -221,3 +221,52 @@ class MatmulGPUApp:
             self.evaluate(n, cfg, rng=rng)
             for cfg in self.sweep_configs(min_bs=min_bs)
         ]
+
+    def sweep_table(
+        self,
+        n: int,
+        *,
+        min_bs: int | None = None,
+        engine: "SweepEngine | None" = None,
+    ) -> np.ndarray:
+        """The sweep as a ``POINT_DTYPE`` structured array (columnar path).
+
+        Same enumeration, same order and same values as
+        :meth:`sweep_points`, but no per-point dicts or
+        :class:`ParetoPoint` objects — the figure experiments operate
+        directly on the columns and materialize points only at the
+        reporting boundary.  With an ``engine`` exposing the columnar
+        ``table`` protocol (:class:`repro.sweep.SweepEngine`,
+        :class:`repro.sweep.planner.EvalPlanner`) the array is served
+        zero-copy end to end; engines that only speak
+        ``evaluate_configs`` are adapted transparently.
+        """
+        from repro.sweep.shm import POINT_DTYPE
+
+        configs = self.sweep_configs(min_bs=min_bs)
+        out = np.empty(len(configs), dtype=POINT_DTYPE)
+        if engine is not None:
+            from repro.sweep.plan import SweepRequest
+
+            request = SweepRequest(
+                device=self.spec,
+                n=n,
+                total_products=self.total_products,
+                min_bs=min_bs,
+                cal=self.device.cal,
+            )
+            table_fn = getattr(engine, "table", None)
+            if table_fn is not None:
+                return table_fn(request, configs)
+            points = engine.evaluate_configs(request, configs)
+            out["time_s"] = [p.time_s for p in points]
+            out["energy_j"] = [p.energy_j for p in points]
+        else:
+            for i, cfg in enumerate(configs):
+                result = self.run(n, cfg)
+                out["time_s"][i] = result.time_s
+                out["energy_j"][i] = result.dynamic_energy_j
+        out["bs"] = [c.bs for c in configs]
+        out["g"] = [c.g for c in configs]
+        out["r"] = [c.r for c in configs]
+        return out

@@ -27,10 +27,13 @@ from repro.core.metrics import (
     wong_annavaram_ld,
     wong_annavaram_pr,
 )
+from repro.core.incremental import IncrementalParetoFront
 from repro.core.pareto import (
     ParetoPoint,
     dominates,
     epsilon_pareto_front,
+    front_indices,
+    front_mask,
     front_spread,
     hypervolume_2d,
     local_pareto_front,
@@ -68,6 +71,9 @@ __all__ = [
     "nondominated_sort",
     "hypervolume_2d",
     "front_spread",
+    "front_indices",
+    "front_mask",
+    "IncrementalParetoFront",
     # tradeoff
     "TradeoffEntry",
     "tradeoff_table",

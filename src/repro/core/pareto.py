@@ -38,6 +38,8 @@ __all__ = [
     "nondominated_sort",
     "hypervolume_2d",
     "front_spread",
+    "front_indices",
+    "front_mask",
 ]
 
 
@@ -127,6 +129,46 @@ def pareto_front(points: Iterable[ParetoPoint | tuple]) -> list[ParetoPoint]:
             front.append(p)
             best_energy = p.energy_j
     return front
+
+
+def front_indices(times, energies) -> np.ndarray:
+    """Indices of the Pareto front of two objective columns, front order.
+
+    The array-native kernel behind :func:`pareto_front`: given
+    index-aligned ``time_s`` / ``energy_j`` columns (any array-likes),
+    returns the indices of the front members ordered by increasing
+    time.  Exactly equivalent to ``pareto_front`` on the same data —
+    ``np.lexsort`` is stable like ``list.sort``, so tie-breaking and
+    the duplicate-collapse (first representative in sorted order) are
+    identical — but never materializes a :class:`ParetoPoint`; callers
+    on the columnar fast path keep everything in NumPy and adapt to
+    points only at the reporting boundary.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    energies = np.asarray(energies, dtype=np.float64)
+    if times.size == 0:
+        return np.empty(0, dtype=np.intp)
+    order = np.lexsort((energies, times))  # stable sort by (time, energy)
+    e_sorted = energies[order]
+    keep = np.empty(order.size, dtype=bool)
+    keep[0] = True
+    # Strict improvement over the running minimum — the same "energy
+    # strictly improves on the best seen so far" rule as pareto_front.
+    keep[1:] = e_sorted[1:] < np.minimum.accumulate(e_sorted)[:-1]
+    return order[keep]
+
+
+def front_mask(times, energies) -> np.ndarray:
+    """Boolean front membership over the *input* order.
+
+    ``front_mask(t, e)`` marks exactly the rows ``front_indices``
+    selects; useful when the caller wants to subset other columns of a
+    structured array without reordering.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    mask = np.zeros(times.shape, dtype=bool)
+    mask[front_indices(times, energies)] = True
+    return mask
 
 
 def local_pareto_front(

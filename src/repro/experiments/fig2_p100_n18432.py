@@ -11,14 +11,15 @@ savings; restricting to BS ≤ 30 gives 24% savings at 8% degradation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis.ep_analysis import materialize
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
-from repro.core.pareto import ParetoPoint, local_pareto_front, pareto_front
+from repro.core.pareto import ParetoPoint, front_indices
 from repro.core.tradeoff import TradeoffEntry, max_energy_saving
 from repro.machines.specs import P100
 
@@ -48,9 +49,16 @@ def monotone_fraction(points: list[ParetoPoint]) -> float:
     """
     if len(points) < 2:
         raise ValueError("need at least 2 points")
-    ordered = sorted(points, key=lambda p: p.time_s)
-    energies = np.array([p.energy_j for p in ordered])
-    diffs = np.diff(energies)
+    return _monotone_fraction_cols(
+        np.array([p.time_s for p in points]),
+        np.array([p.energy_j for p in points]),
+    )
+
+
+def _monotone_fraction_cols(times: np.ndarray, energies: np.ndarray) -> float:
+    """Column-native :func:`monotone_fraction` (same stable time order)."""
+    order = np.argsort(times, kind="stable")
+    diffs = np.diff(energies[order])
     return float(np.mean(diffs >= -1e-9))
 
 
@@ -63,11 +71,17 @@ def rank_correlation(points: list[ParetoPoint]) -> float:
     """
     if len(points) < 3:
         raise ValueError("need at least 3 points")
+    return _rank_correlation_cols(
+        np.array([p.time_s for p in points]),
+        np.array([p.energy_j for p in points]),
+    )
+
+
+def _rank_correlation_cols(times: np.ndarray, energies: np.ndarray) -> float:
+    """Column-native :func:`rank_correlation`."""
     from scipy.stats import spearmanr
 
-    res = spearmanr(
-        [p.time_s for p in points], [p.energy_j for p in points]
-    )
+    res = spearmanr(times, energies)
     return float(res.statistic)
 
 
@@ -75,16 +89,19 @@ def rank_correlation(points: list[ParetoPoint]) -> float:
 class Fig2Result:
     """The four panels' data plus the quantified trade-off claims.
 
-    Panel mapping: ``all_points`` is the top-left cloud; the BS ≤ 20
-    diagnostics describe the top-right monotone region; the *global*
-    Pareto front (bottom-right panel — the paper computes it over the
-    whole sweep and observes its points fall in the nonproportionality
-    region) carries the quantified 12.5%-at-2.5% claim; the BS ≤ 30
-    restriction carries the 24%-at-8% claim.
+    Panel mapping: ``table`` holds the top-left cloud (columnar); the
+    BS ≤ 20 diagnostics describe the top-right monotone region; the
+    *global* Pareto front (bottom-right panel — the paper computes it
+    over the whole sweep and observes its points fall in the
+    nonproportionality region) carries the quantified 12.5%-at-2.5%
+    claim; the BS ≤ 30 restriction carries the 24%-at-8% claim.
     """
 
     n: int
-    all_points: tuple[ParetoPoint, ...]
+    #: The full sweep as a POINT_DTYPE structured array.  Excluded from
+    #: equality (ndarray __eq__ is elementwise); the scalar fields and
+    #: fronts derived from it are what comparisons check.
+    table: np.ndarray = field(compare=False, repr=False)
     low_bs_monotone_fraction: float
     low_bs_rank_correlation: float
     global_front: tuple[ParetoPoint, ...]
@@ -92,9 +109,13 @@ class Fig2Result:
     bs30_front: tuple[ParetoPoint, ...]
     bs30_headline: TradeoffEntry
 
+    def all_points(self) -> tuple[ParetoPoint, ...]:
+        """The full cloud as ParetoPoints (reporting boundary only)."""
+        return materialize(self.table, range(len(self.table)))
+
     def render(self) -> str:
         rows = [
-            ("configurations evaluated", str(len(self.all_points))),
+            ("configurations evaluated", str(len(self.table))),
             (
                 "BS 1-20 region: energy monotone in time",
                 format_pct(self.low_bs_monotone_fraction) + " of steps",
@@ -137,20 +158,32 @@ def run(n: int = N_PAPER, *, engine: "SweepEngine | None" = None) -> Fig2Result:
 
     with obs.span("experiment.fig2", n=n):
         app = MatmulGPUApp(P100)
-        points = app.sweep_points(n, engine=engine)
+        table = app.sweep_table(n, engine=engine)
+        times, energies = table["time_s"], table["energy_j"]
 
-        low = [p for p in points if p.config["bs"] <= 20]
-        bs30 = [p for p in points if p.config["bs"] <= 30]
-        if not low or not bs30:
+        low = np.flatnonzero(table["bs"] <= 20)
+        bs30 = np.flatnonzero(table["bs"] <= 30)
+        if not low.size or not bs30.size:
             raise RuntimeError("sweep did not populate the Fig. 2 regions")
 
+        # The max-saving entry of a point set equals that of its front
+        # (tradeoff_table reduces to the front internally), so only the
+        # front rows are ever materialized as ParetoPoints.
+        global_front = materialize(table, front_indices(times, energies))
+        bs30_front = materialize(
+            table, bs30[front_indices(times[bs30], energies[bs30])]
+        )
         return Fig2Result(
             n=n,
-            all_points=tuple(points),
-            low_bs_monotone_fraction=monotone_fraction(low),
-            low_bs_rank_correlation=rank_correlation(low),
-            global_front=tuple(pareto_front(points)),
-            global_headline=max_energy_saving(points),
-            bs30_front=tuple(pareto_front(bs30)),
-            bs30_headline=max_energy_saving(bs30),
+            table=table,
+            low_bs_monotone_fraction=_monotone_fraction_cols(
+                times[low], energies[low]
+            ),
+            low_bs_rank_correlation=_rank_correlation_cols(
+                times[low], energies[low]
+            ),
+            global_front=global_front,
+            global_headline=max_energy_saving(list(global_front)),
+            bs30_front=bs30_front,
+            bs30_headline=max_energy_saving(list(bs30_front)),
         )

@@ -20,10 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study
+from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study_table
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
-from repro.core.pareto import ParetoPoint
 from repro.machines.specs import K40C
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,10 +43,6 @@ def requests(sizes: tuple[int, ...] = PAPER_SIZES):
 #: The local nonproportionality region: everything below the global
 #: optimum's tile dimension.
 LOCAL_REGION_MAX_BS = 31
-
-
-def _local_region(p: ParetoPoint) -> bool:
-    return p.config["bs"] <= LOCAL_REGION_MAX_BS
 
 
 @dataclass(frozen=True)
@@ -100,8 +95,13 @@ def run(
         app = MatmulGPUApp(K40C)
         studies = []
         for n in sizes:
-            points = app.sweep_points(n, engine=engine)
+            table = app.sweep_table(n, engine=engine)
             studies.append(
-                weak_ep_study("k40c", n, points, region=_local_region)
+                weak_ep_study_table(
+                    "k40c",
+                    n,
+                    table,
+                    region_mask=table["bs"] <= LOCAL_REGION_MAX_BS,
+                )
             )
         return Fig7Result(studies=tuple(studies))

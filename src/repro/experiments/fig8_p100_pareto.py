@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study
+from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study_table
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
 from repro.machines.specs import P100
@@ -96,6 +96,6 @@ def run(
         app = MatmulGPUApp(P100)
         studies = []
         for n in sizes:
-            points = app.sweep_points(n, engine=engine)
-            studies.append(weak_ep_study("p100", n, points))
+            table = app.sweep_table(n, engine=engine)
+            studies.append(weak_ep_study_table("p100", n, table))
         return Fig8Result(studies=tuple(studies))

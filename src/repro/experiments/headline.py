@@ -20,9 +20,12 @@ import statistics
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
+from repro.analysis.ep_analysis import materialize
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
-from repro.core.pareto import local_pareto_front, pareto_front
+from repro.core.pareto import front_indices
 from repro.core.tradeoff import max_energy_saving
 from repro.machines.specs import GPUSpec, K40C, P100
 
@@ -112,20 +115,21 @@ def _analyze(
     best_deg = 0.0
     bs32_only = True
     for n in sizes:
-        points = app.sweep_points(n, engine=engine)
-        g_front = pareto_front(points)
-        l_front = local_pareto_front(points, lambda p: p.config["bs"] <= 31)
-        global_sizes.append(len(g_front))
-        local_sizes.append(len(l_front))
-        if any(p.config["bs"] != 32 for p in g_front):
+        table = app.sweep_table(n, engine=engine)
+        times, energies = table["time_s"], table["energy_j"]
+        g_idx = front_indices(times, energies)
+        sub = np.flatnonzero(table["bs"] <= 31)
+        l_idx = sub[front_indices(times[sub], energies[sub])]
+        global_sizes.append(len(g_idx))
+        local_sizes.append(len(l_idx))
+        if (table["bs"][g_idx] != 32).any():
             bs32_only = False
         # The savings pool: global trade-offs when the global front is
         # non-degenerate, local trade-offs otherwise (the paper's K40c
-        # methodology).
-        pool = points if len(g_front) > 1 else [
-            p for p in points if p.config["bs"] <= 31
-        ]
-        entry = max_energy_saving(pool)
+        # methodology).  The max-saving entry of a point set equals
+        # that of its Pareto front, so only front rows materialize.
+        pool_idx = g_idx if len(g_idx) > 1 else l_idx
+        entry = max_energy_saving(list(materialize(table, pool_idx)))
         if entry.energy_saving > best_saving:
             best_saving = entry.energy_saving
             best_deg = entry.perf_degradation

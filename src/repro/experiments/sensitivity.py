@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.analysis.report import format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
-from repro.core.pareto import pareto_front
+from repro.core.pareto import front_indices
 from repro.machines.specs import K40C, P100
 from repro.simcpu.calibration import HASWELL_CAL  # noqa: F401 (doc link)
 from repro.simgpu.calibration import K40C_CAL, P100_CAL
@@ -107,13 +107,15 @@ class SensitivityResult:
 
 def _k40c_verdict(cal, n, engine=None) -> bool:
     app = MatmulGPUApp(K40C, cal)
-    front = pareto_front(app.sweep_points(n, engine=engine))
-    return len(front) == 1 and front[0].config["bs"] == 32
+    table = app.sweep_table(n, engine=engine)
+    idx = front_indices(table["time_s"], table["energy_j"])
+    return idx.size == 1 and int(table["bs"][idx[0]]) == 32
 
 
 def _p100_verdict(cal, n, engine=None) -> bool:
     app = MatmulGPUApp(P100, cal)
-    return len(pareto_front(app.sweep_points(n, engine=engine))) >= 2
+    table = app.sweep_table(n, engine=engine)
+    return front_indices(table["time_s"], table["energy_j"]).size >= 2
 
 
 def run(

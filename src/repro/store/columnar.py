@@ -1,18 +1,36 @@
-"""Columnar ``.npz`` shard store keyed by sweep-point identity.
+"""Columnar shard store keyed by sweep-point identity (mmap fast path).
 
-Layout: one shard file per :func:`repro.sweep.keys.shard_digest`
-identity — device spec, calibration, matrix size, model version and
-execution backend — under the store root, plus an advisory index::
+Layout: one shard per :func:`repro.sweep.keys.shard_digest` identity —
+device spec, calibration, matrix size, model version and execution
+backend — under the store root, plus an advisory index::
 
-    <root>/<device>-n<N>-<backend>-<digest16>.npz
+    <root>/<device>-n<N>-<backend>-<digest16>.npy
+    <root>/<device>-n<N>-<backend>-<digest16>.meta.json
     <root>/manifest.json
 
-A shard holds the full column set of one sweep's points: the packed
-``(BS, G, R)`` configuration keys (sorted, unique) and the ``time_s``
-/ ``energy_j`` objective columns.  Because the filename is derived
-from the content digest, the manifest is *advisory* — it powers
-inspection and stats, but lookups never depend on it, so a stale or
-corrupted manifest can degrade tooling output, never correctness.
+A shard holds the full column set of one sweep's points — the packed
+``(BS, G, R)`` configuration keys (sorted, unique), the unpacked key
+columns and the ``time_s`` / ``energy_j`` objective columns — stored
+as one ``(6, n)`` int64 block (format ``repro-sweep-store/2``).  The
+float64 objective columns live bit-for-bit in int64 lanes so the whole
+shard is a single homogeneous ``.npy`` that ``np.load(mmap_mode="r")``
+can map lazily; :class:`_Shard` reinterprets them zero-copy.  Opening
+a shard therefore touches only the header plus the packed-key column
+(for the sorted-unique soundness check); objective pages are faulted
+in on demand and copied only for the rows a lookup actually serves
+(counted under ``store.shard.bytes_copied``).
+
+The identity/row-count metadata lives in a JSON sidecar.  Because the
+filename is derived from the content digest, the *manifest* is
+advisory — it powers inspection and stats, but lookups never depend on
+it, so a stale or corrupted manifest can degrade tooling output, never
+correctness.  The sidecar, by contrast, is load-bearing: a shard whose
+sidecar is missing, unreadable, or disagrees with the array's row
+count is treated as a torn pair and recomputed.
+
+Format ``repro-sweep-store/1`` (a monolithic ``.npz``, eagerly
+decompressed) is still *read* transparently; the first append to a
+legacy shard rewrites it as v2 and removes the ``.npz``.
 
 Durability contract (same as the JSON point cache): every write goes
 through a temp file + ``os.replace``, so an interrupted run never
@@ -32,7 +50,7 @@ import os
 import re
 import warnings
 import zipfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
@@ -45,6 +63,7 @@ from repro.sweep.keys import MODEL_VERSION, shard_digest
 
 __all__ = [
     "SHARD_FORMAT",
+    "LEGACY_SHARD_FORMAT",
     "MANIFEST_FORMAT",
     "ShardKey",
     "ColumnarStore",
@@ -67,7 +86,8 @@ class StoreIntegrityWarning(UserWarning):
     ``store.shard.recompute_fallbacks``.
     """
 
-SHARD_FORMAT = "repro-sweep-store/1"
+SHARD_FORMAT = "repro-sweep-store/2"
+LEGACY_SHARD_FORMAT = "repro-sweep-store/1"
 MANIFEST_FORMAT = "repro-sweep-store-manifest/1"
 MANIFEST_NAME = "manifest.json"
 
@@ -76,6 +96,9 @@ MANIFEST_NAME = "manifest.json"
 #: the packed key inside exact int64 range.
 _FIELD_BITS = 21
 _FIELD_MAX = (1 << _FIELD_BITS) - 1
+
+#: Row indices of the (6, n) shard block.
+_COL_PACKED, _COL_BS, _COL_G, _COL_R, _COL_TIME, _COL_ENERGY = range(6)
 
 
 def pack_config(bs: int, g: int, r: int) -> int:
@@ -140,11 +163,23 @@ class ShardKey:
     digest: str
 
     @property
-    def filename(self) -> str:
+    def stem(self) -> str:
         return (
             f"{_slug(self.device)}-n{self.n}-{self.backend}-"
-            f"{self.digest[:16]}.npz"
+            f"{self.digest[:16]}"
         )
+
+    @property
+    def filename(self) -> str:
+        return f"{self.stem}.npy"
+
+    @property
+    def meta_filename(self) -> str:
+        return f"{self.stem}.meta.json"
+
+    @property
+    def legacy_filename(self) -> str:
+        return f"{self.stem}.npz"
 
 
 def shard_key(
@@ -166,27 +201,75 @@ def shard_key(
 
 @dataclass
 class _Shard:
-    """In-memory columns of one loaded shard (packed keys sorted unique)."""
+    """One loaded shard: a ``(6, n)`` int64 block, possibly memory-mapped.
 
-    packed: np.ndarray
-    bs: np.ndarray
-    g: np.ndarray
-    r: np.ndarray
-    time_s: np.ndarray
-    energy_j: np.ndarray
+    Rows are sorted unique by packed key.  The two objective columns
+    are float64 values stored bit-for-bit in int64 lanes so the whole
+    shard is one homogeneous mmap-able array; :attr:`time_s` /
+    :attr:`energy_j` reinterpret them with a zero-copy view.  With
+    ``mapped=True`` no column has been read from disk yet except the
+    packed keys (validated at open); objective pages fault in only
+    when a lookup serves their rows.
+    """
+
+    block: np.ndarray
+    mapped: bool = False
+    #: Set after the objective columns of served rows first checked out
+    #: as finite/non-negative (legacy eager loads validate at open).
+    values_checked: bool = field(default=False, repr=False)
+
+    @property
+    def packed(self) -> np.ndarray:
+        return self.block[_COL_PACKED]
+
+    @property
+    def bs(self) -> np.ndarray:
+        return self.block[_COL_BS]
+
+    @property
+    def g(self) -> np.ndarray:
+        return self.block[_COL_G]
+
+    @property
+    def r(self) -> np.ndarray:
+        return self.block[_COL_R]
+
+    @property
+    def time_s(self) -> np.ndarray:
+        return self.block[_COL_TIME].view(np.float64)
+
+    @property
+    def energy_j(self) -> np.ndarray:
+        return self.block[_COL_ENERGY].view(np.float64)
 
     def __len__(self) -> int:
-        return len(self.packed)
+        return int(self.block.shape[1])
 
 
-_EMPTY = _Shard(
-    packed=np.empty(0, dtype=np.int64),
-    bs=np.empty(0, dtype=np.int64),
-    g=np.empty(0, dtype=np.int64),
-    r=np.empty(0, dtype=np.int64),
-    time_s=np.empty(0, dtype=np.float64),
-    energy_j=np.empty(0, dtype=np.float64),
-)
+def _make_block(
+    packed: np.ndarray,
+    bs: np.ndarray,
+    g: np.ndarray,
+    r: np.ndarray,
+    time_s: np.ndarray,
+    energy_j: np.ndarray,
+) -> np.ndarray:
+    """Assemble column arrays into one ``(6, n)`` int64 block."""
+    block = np.empty((6, len(packed)), dtype=np.int64)
+    block[_COL_PACKED] = packed
+    block[_COL_BS] = bs
+    block[_COL_G] = g
+    block[_COL_R] = r
+    block[_COL_TIME] = np.ascontiguousarray(time_s, dtype=np.float64).view(
+        np.int64
+    )
+    block[_COL_ENERGY] = np.ascontiguousarray(energy_j, dtype=np.float64).view(
+        np.int64
+    )
+    return block
+
+
+_EMPTY = _Shard(block=np.empty((6, 0), dtype=np.int64), values_checked=True)
 
 #: Exceptions a torn/foreign/garbage shard file can raise on load.
 _LOAD_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile)
@@ -230,6 +313,12 @@ class ColumnarStore:
     def shard_path(self, key: ShardKey) -> Path:
         return self.root / key.filename
 
+    def meta_path(self, key: ShardKey) -> Path:
+        return self.root / key.meta_filename
+
+    def legacy_path(self, key: ShardKey) -> Path:
+        return self.root / key.legacy_filename
+
     @property
     def manifest_path(self) -> Path:
         return self.root / MANIFEST_NAME
@@ -237,33 +326,85 @@ class ColumnarStore:
     # -- loading ------------------------------------------------------------
 
     def _read_shard(self, key: ShardKey) -> _Shard:
-        """Load a shard from disk; a corrupt or absent file is empty."""
+        """Load a shard from disk; a corrupt or absent file is empty.
+
+        The v2 ``.npy`` is *memory-mapped*, not read: only the packed
+        key column is touched here (sorted-unique soundness).  Falls
+        back to the eager v1 ``.npz`` reader when only a legacy shard
+        exists at this identity.
+        """
         path = self.shard_path(key)
         try:
-            with np.load(path, allow_pickle=False) as z:
-                meta = json.loads(str(z["meta"][()]))
-                shard = _Shard(
-                    packed=np.asarray(z["packed"], dtype=np.int64),
-                    bs=np.asarray(z["bs"], dtype=np.int64),
-                    g=np.asarray(z["g"], dtype=np.int64),
-                    r=np.asarray(z["r"], dtype=np.int64),
-                    time_s=np.asarray(z["time_s"], dtype=np.float64),
-                    energy_j=np.asarray(z["energy_j"], dtype=np.float64),
-                )
+            meta = json.loads(self.meta_path(key).read_text())
+            block = np.load(path, mmap_mode="r", allow_pickle=False)
         except FileNotFoundError:
+            if self.legacy_path(key).is_file():
+                return self._read_legacy_shard(key)
+            # A block without its sidecar (or vice versa) is a torn
+            # pair — unless neither exists, which is just a cold shard.
+            if path.is_file() or self.meta_path(key).is_file():
+                self._recompute_fallback(path, "corrupt")
             return _EMPTY
         except _LOAD_ERRORS + (json.JSONDecodeError,):
             self._recompute_fallback(path, "corrupt")
             return _EMPTY
+        obs.count("store.shard.mmap_opens")
+        shard = _Shard(block=block, mapped=True)
         reason = self._shard_rejection(key, meta, shard)
         if reason is not None:
             self._recompute_fallback(path, reason)
             return _EMPTY
         return shard
 
+    def _read_legacy_shard(self, key: ShardKey) -> _Shard:
+        """Eagerly load a v1 ``.npz`` shard (decompressed, validated)."""
+        path = self.legacy_path(key)
+        try:
+            with np.load(path, allow_pickle=False) as z:
+                meta = json.loads(str(z["meta"][()]))
+                block = _make_block(
+                    np.asarray(z["packed"], dtype=np.int64),
+                    np.asarray(z["bs"], dtype=np.int64),
+                    np.asarray(z["g"], dtype=np.int64),
+                    np.asarray(z["r"], dtype=np.int64),
+                    np.asarray(z["time_s"], dtype=np.float64),
+                    np.asarray(z["energy_j"], dtype=np.float64),
+                )
+        except _LOAD_ERRORS + (json.JSONDecodeError,):
+            self._recompute_fallback(path, "corrupt")
+            return _EMPTY
+        obs.count("store.shard.legacy_loads")
+        shard = _Shard(block=block)
+        reason = self._shard_rejection(
+            key, meta, shard, expected_format=LEGACY_SHARD_FORMAT
+        )
+        if reason is not None:
+            self._recompute_fallback(path, reason)
+            return _EMPTY
+        # Eager loads validate values up front (the columns are already
+        # in memory, so the check is free relative to the decompress).
+        if not self._values_sound(shard.time_s, shard.energy_j):
+            self._recompute_fallback(path, "corrupt")
+            return _EMPTY
+        shard.values_checked = True
+        return shard
+
+    @staticmethod
+    def _values_sound(time_s: np.ndarray, energy_j: np.ndarray) -> bool:
+        return bool(
+            np.isfinite(time_s).all()
+            and np.isfinite(energy_j).all()
+            and not (time_s < 0).any()
+            and not (energy_j < 0).any()
+        )
+
     @staticmethod
     def _shard_rejection(
-        key: ShardKey, meta: dict[str, Any], shard: _Shard
+        key: ShardKey,
+        meta: dict[str, Any],
+        shard: _Shard,
+        *,
+        expected_format: str = SHARD_FORMAT,
     ) -> str | None:
         """Why a shard cannot be trusted at this address (None = sound).
 
@@ -271,12 +412,16 @@ class ColumnarStore:
         identity metadata does not match the address (renamed/copied
         file, or a shard written by a different model version: its
         digest differs, so stale results never leak).  ``"corrupt"`` —
-        anything structurally broken: wrong format tag, ragged
-        columns, unsorted keys, non-finite objectives.
+        anything structurally broken: wrong format tag, wrong block
+        shape, a sidecar row count disagreeing with the array (torn
+        pair), unsorted keys.  Deliberately *not* checked here for
+        mapped shards: objective-value soundness — that would fault in
+        every page, defeating the mmap; served rows are checked at
+        copy-out time instead.
         """
         if not isinstance(meta, dict):
             return "corrupt"
-        if meta.get("format") != SHARD_FORMAT:
+        if meta.get("format") != expected_format:
             return "corrupt"
         if (
             meta.get("digest") != key.digest
@@ -286,17 +431,13 @@ class ColumnarStore:
             or meta.get("n") != key.n
         ):
             return "stale"
-        m = len(shard.packed)
-        if not all(
-            len(col) == m
-            for col in (shard.bs, shard.g, shard.r, shard.time_s, shard.energy_j)
-        ):
+        block = shard.block
+        if block.ndim != 2 or block.shape[0] != 6 or block.dtype != np.int64:
             return "corrupt"
-        if m and not (np.diff(shard.packed) > 0).all():
+        if meta.get("points") != len(shard):
+            return "corrupt"  # torn block/sidecar pair
+        if len(shard) and not (np.diff(shard.packed) > 0).all():
             return "corrupt"  # lookups require sorted unique keys
-        finite = np.isfinite(shard.time_s).all() and np.isfinite(shard.energy_j).all()
-        if not finite or (shard.time_s < 0).any() or (shard.energy_j < 0).any():
-            return "corrupt"
         return None
 
     def _shard(self, key: ShardKey) -> _Shard:
@@ -306,7 +447,71 @@ class ColumnarStore:
             self._shards[key.digest] = shard
         return shard
 
+    def open_shards(self, keys) -> None:
+        """Warm the shard cache for many identities with parallel I/O.
+
+        Shard opens are independent metadata + header reads (the mmap
+        faults no data pages), so a multi-shard planner partition can
+        overlap them instead of paying the open latency serially.
+        Results land in the same per-store cache that :meth:`lookup`
+        uses; corrupt/stale fallbacks behave exactly as in serial
+        opens.
+        """
+        pending = [k for k in keys if k.digest not in self._shards]
+        # Dedup by digest while preserving order.
+        unique: dict[str, ShardKey] = {}
+        for k in pending:
+            unique.setdefault(k.digest, k)
+        if not unique:
+            return
+        with obs.span("store.open_shards", shards=len(unique)):
+            if len(unique) == 1:
+                (key,) = unique.values()
+                self._shard(key)
+                return
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                max_workers=min(8, len(unique))
+            ) as pool:
+                loaded = list(pool.map(self._read_shard, unique.values()))
+            for key, shard in zip(unique.values(), loaded):
+                self._shards[key.digest] = shard
+
     # -- queries ------------------------------------------------------------
+
+    def contains(self, key: ShardKey, packed: np.ndarray) -> np.ndarray:
+        """Hit mask of a packed-key request, without touching values.
+
+        The partition half of :meth:`lookup`: one ``searchsorted``
+        over the (mapped) key column, no objective pages faulted, no
+        rows copied.  Use when the values are only needed later (the
+        planner partitions every experiment's requests up front and
+        serves rows at figure-render time).
+        """
+        with obs.span(
+            "store.contains", device=key.device, n=key.n, points=len(packed)
+        ):
+            shard = self._shard(key)
+            hit = self._hit_positions(shard, packed)[0]
+            hits = int(hit.sum())
+            obs.count("store.shard.hits", hits)
+            obs.count("store.shard.misses", len(packed) - hits)
+            return hit
+
+    @staticmethod
+    def _hit_positions(
+        shard: _Shard, packed: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(hit, pos_safe)`` of a packed request against one shard."""
+        m = len(packed)
+        if not (len(shard) and m):
+            return np.zeros(m, dtype=bool), np.zeros(m, dtype=np.intp)
+        pos = np.searchsorted(shard.packed, packed)
+        in_range = pos < len(shard)
+        pos_safe = np.where(in_range, pos, 0)
+        hit = in_range & (shard.packed[pos_safe] == packed)
+        return hit, pos_safe
 
     def lookup(
         self, key: ShardKey, packed: np.ndarray
@@ -314,7 +519,12 @@ class ColumnarStore:
         """Partition a packed-key request into hits and misses.
 
         One vectorized pass: returns ``(time_s, energy_j, hit)`` arrays
-        aligned with ``packed``; miss lanes hold NaN objectives.
+        aligned with ``packed``; miss lanes hold NaN objectives.  Only
+        the hit rows' objective lanes are copied out of the mapped
+        shard (``store.shard.bytes_copied``); their values are checked
+        at this copy-out boundary, so a structurally-sound shard with
+        garbage objectives degrades to all-miss + recompute rather
+        than serving it.
         """
         with obs.span(
             "store.lookup",
@@ -326,15 +536,23 @@ class ColumnarStore:
             m = len(packed)
             times = np.full(m, np.nan)
             energies = np.full(m, np.nan)
-            hit = np.zeros(m, dtype=bool)
-            if len(shard) and m:
-                pos = np.searchsorted(shard.packed, packed)
-                in_range = pos < len(shard)
-                pos_safe = np.where(in_range, pos, 0)
-                hit = in_range & (shard.packed[pos_safe] == packed)
-                times[hit] = shard.time_s[pos_safe[hit]]
-                energies[hit] = shard.energy_j[pos_safe[hit]]
+            hit, pos_safe = self._hit_positions(shard, packed)
             hits = int(hit.sum())
+            if hits:
+                rows = pos_safe[hit]
+                t_hit = shard.time_s[rows]  # fancy index: the serve copy
+                e_hit = shard.energy_j[rows]
+                if not shard.values_checked and not self._values_sound(
+                    t_hit, e_hit
+                ):
+                    self._shards[key.digest] = _EMPTY
+                    self._recompute_fallback(self.shard_path(key), "corrupt")
+                    return times, energies, np.zeros(m, dtype=bool)
+                times[hit] = t_hit
+                energies[hit] = e_hit
+                obs.count(
+                    "store.shard.bytes_copied", 2 * 8 * hits
+                )
             obs.count("store.shard.hits", hits)
             obs.count("store.shard.misses", m - hits)
             return times, energies, hit
@@ -359,7 +577,9 @@ class ColumnarStore:
         Existing rows win on duplicate configuration keys (values are
         deterministic per identity, so the choice is cosmetic).  The
         shard is re-read from disk before merging so rows appended by a
-        concurrent writer since our last load are preserved.
+        concurrent writer since our last load are preserved.  A legacy
+        v1 shard at this identity is upgraded: the merge result is
+        written in v2 form and the ``.npz`` removed.
         """
         bs = np.asarray(bs, dtype=np.int64)
         g = np.asarray(g, dtype=np.int64)
@@ -389,12 +609,15 @@ class ColumnarStore:
         # existing row; the result is sorted, which lookups require.
         uniq, first = np.unique(all_packed, return_index=True)
         merged = _Shard(
-            packed=uniq,
-            bs=np.concatenate([current.bs, bs])[first],
-            g=np.concatenate([current.g, g])[first],
-            r=np.concatenate([current.r, r])[first],
-            time_s=np.concatenate([current.time_s, time_s])[first],
-            energy_j=np.concatenate([current.energy_j, energy_j])[first],
+            block=_make_block(
+                uniq,
+                np.concatenate([current.bs, bs])[first],
+                np.concatenate([current.g, g])[first],
+                np.concatenate([current.r, r])[first],
+                np.concatenate([current.time_s, time_s])[first],
+                np.concatenate([current.energy_j, energy_j])[first],
+            ),
+            values_checked=current.values_checked,
         )
         self._write_shard(key, merged)
         self._shards[key.digest] = merged
@@ -418,19 +641,22 @@ class ColumnarStore:
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
         try:
             with open(tmp, "wb") as fh:
-                np.savez(
-                    fh,
-                    meta=np.array(json.dumps(meta)),
-                    packed=shard.packed,
-                    bs=shard.bs,
-                    g=shard.g,
-                    r=shard.r,
-                    time_s=shard.time_s,
-                    energy_j=shard.energy_j,
-                )
+                np.save(fh, np.ascontiguousarray(shard.block))
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
+        # Sidecar second: a crash between the two replaces leaves a
+        # block/sidecar row-count mismatch, which reads as a torn pair
+        # (corrupt → recompute), never as wrong values.
+        meta_path = self.meta_path(key)
+        meta_tmp = meta_path.with_name(f".{meta_path.name}.{os.getpid()}.tmp")
+        try:
+            meta_tmp.write_text(json.dumps(meta, sort_keys=True) + "\n")
+            os.replace(meta_tmp, meta_path)
+        finally:
+            meta_tmp.unlink(missing_ok=True)
+        # The v2 pair supersedes any legacy shard at this identity.
+        self.legacy_path(key).unlink(missing_ok=True)
 
     # -- manifest -----------------------------------------------------------
 
@@ -474,35 +700,68 @@ class ColumnarStore:
 
         Recovers from a lost or corrupted manifest (the shards are the
         source of truth); unreadable shard files are skipped and
-        counted in :attr:`corrupt_shards`.
+        counted in :attr:`corrupt_shards`.  Covers both v2 sidecar
+        pairs and legacy ``.npz`` shards.
         """
         doc: dict[str, Any] = {"format": MANIFEST_FORMAT, "shards": {}}
         obs.count("store.manifest.rebuilds")
-        if self.root.is_dir():
-            for path in sorted(self.root.glob("*.npz")):
-                try:
-                    with np.load(path, allow_pickle=False) as z:
-                        meta = json.loads(str(z["meta"][()]))
-                        points = int(len(z["packed"]))
-                except _LOAD_ERRORS + (json.JSONDecodeError,):
-                    self.corrupt_shards += 1
-                    continue
-                if (
-                    not isinstance(meta, dict)
-                    or meta.get("format") != SHARD_FORMAT
-                    or "digest" not in meta
-                ):
-                    self.corrupt_shards += 1
-                    continue
-                doc["shards"][meta["digest"]] = {
+        if not self.root.is_dir():
+            return doc
+        for meta_path in sorted(self.root.glob("*.meta.json")):
+            npy = meta_path.with_name(
+                meta_path.name[: -len(".meta.json")] + ".npy"
+            )
+            try:
+                meta = json.loads(meta_path.read_text())
+                block = np.load(npy, mmap_mode="r", allow_pickle=False)
+                points = int(block.shape[1])
+            except _LOAD_ERRORS + (json.JSONDecodeError, IndexError):
+                self.corrupt_shards += 1
+                continue
+            if (
+                not isinstance(meta, dict)
+                or meta.get("format") != SHARD_FORMAT
+                or "digest" not in meta
+                or meta.get("points") != points
+            ):
+                self.corrupt_shards += 1
+                continue
+            doc["shards"][meta["digest"]] = {
+                "file": npy.name,
+                "device": meta.get("device"),
+                "n": meta.get("n"),
+                "model_version": meta.get("model_version"),
+                "backend": meta.get("backend"),
+                "points": points,
+            }
+        for path in sorted(self.root.glob("*.npz")):
+            try:
+                with np.load(path, allow_pickle=False) as z:
+                    meta = json.loads(str(z["meta"][()]))
+                    points = int(len(z["packed"]))
+            except _LOAD_ERRORS + (json.JSONDecodeError,):
+                self.corrupt_shards += 1
+                continue
+            if (
+                not isinstance(meta, dict)
+                or meta.get("format") != LEGACY_SHARD_FORMAT
+                or "digest" not in meta
+            ):
+                self.corrupt_shards += 1
+                continue
+            # A v2 pair at the same digest supersedes the legacy file.
+            doc["shards"].setdefault(
+                meta["digest"],
+                {
                     "file": path.name,
                     "device": meta.get("device"),
                     "n": meta.get("n"),
                     "model_version": meta.get("model_version"),
                     "backend": meta.get("backend"),
                     "points": points,
-                }
-            self._write_manifest(doc)
+                },
+            )
+        self._write_manifest(doc)
         return doc
 
     def manifest(self) -> dict[str, Any]:
@@ -511,7 +770,10 @@ class ColumnarStore:
         if (
             not doc["shards"]
             and self.root.is_dir()
-            and any(self.root.glob("*.npz"))
+            and (
+                any(self.root.glob("*.meta.json"))
+                or any(self.root.glob("*.npz"))
+            )
         ):
             doc = self.rebuild_manifest()
         return doc

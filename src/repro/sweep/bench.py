@@ -56,6 +56,31 @@ overhead exceeds :data:`TELEMETRY_OVERHEAD_LIMIT` (5%), and the
 instrumented run's event stream lands next to ``--output`` as
 ``BENCH_telemetry.jsonl`` (a ``repro trace`` input; CI uploads it as
 an artifact).
+
+Bench v4 sections (the zero-copy fast path):
+
+* ``parallel_crossover`` measures where the shared-memory process-pool
+  transport actually beats the serial scalar path on synthetic grids
+  of growing size, and records the measured crossover next to the
+  configured :data:`repro.sweep.engine.PARALLEL_MIN_POINTS` so the
+  auto-mode threshold stays an observed quantity, not folklore.  On
+  multi-core hosts the largest grid gates: parallel slower than serial
+  above the threshold is a transport regression.
+* ``incremental_front`` streams a synthetic point cloud through
+  :class:`repro.core.incremental.IncrementalParetoFront` and diffs the
+  result against the batch ``front_indices`` kernel — the
+  incremental-vs-batch equivalence gate in bench form (any mismatch
+  fails the run).
+* ``large`` (opt-in via ``--large``) writes a **million-point**
+  synthetic shard through the columnar store, then measures the peak
+  RSS of a fresh subprocess serving a small lookup from it against a
+  control subprocess that only imports.  Because shards are
+  memory-mapped, the delta must stay well below the shard's byte size
+  (:data:`LARGE_RSS_LIMIT_FRAC`) — resident-set growth linear in shard
+  bytes means the zero-copy path regressed to eager loads.
+
+``host.peak_rss_kb`` records the benchmark process's own high-water
+resident set (``getrusage``) in every document.
 """
 
 from __future__ import annotations
@@ -84,12 +109,29 @@ __all__ = [
 #: per-case ``auto_mode`` field and the session-level ``planner``
 #: section; ``/3`` added ``telemetry_overhead`` (warm planner session
 #: with telemetry recording on vs off) and the telemetry JSONL
-#: artifact.
-BENCH_VERSION = "repro-bench/3"
+#: artifact; ``/4`` added ``parallel_crossover`` (measured
+#: shared-memory pool crossover vs the configured auto threshold),
+#: ``incremental_front`` (streaming-vs-batch equivalence gate),
+#: ``host.peak_rss_kb``, and the ``--large`` million-point
+#: memory-mapped store section with its sub-linear peak-RSS gate.
+BENCH_VERSION = "repro-bench/4"
 
 #: CI gate: telemetry-on may cost at most this fraction over
 #: telemetry-off on the warm planner session case.
 TELEMETRY_OVERHEAD_LIMIT = 0.05
+
+#: Synthetic grid sizes for the parallel-crossover measurement; the
+#: largest sits above :data:`repro.sweep.engine.PARALLEL_MIN_POINTS`
+#: so the gate exercises the regime where auto mode pools.
+CROSSOVER_GRID_SIZES = (128, 512, 2048, 4096)
+
+#: Row count of the ``--large`` synthetic shard.
+LARGE_POINTS = 1_000_000
+
+#: CI gate (``--large``): serving a partial lookup from the mapped
+#: million-point shard may grow a fresh process's peak RSS by at most
+#: this fraction of the shard's bytes on disk.
+LARGE_RSS_LIMIT_FRAC = 0.5
 
 #: The paper-scale P100 sweeps the benchmark times by default.
 DEFAULT_SIZES = (10240, 18432)
@@ -361,6 +403,217 @@ def _bench_telemetry(
     }
 
 
+def _synthetic_configs(count: int) -> list:
+    """``count`` distinct valid configurations (G=1 is always valid)."""
+    from repro.apps.matmul_gpu import MatmulConfig
+
+    return [
+        MatmulConfig(bs=4 + (i % 29), g=1, r=1 + i // 29)
+        for i in range(count)
+    ]
+
+
+def _bench_crossover(
+    *, repeats: int, jobs: int, n: int = 1024
+) -> dict:
+    """Serial vs shared-memory pool on synthetic grids of growing size.
+
+    The measured crossover (smallest grid where the pool wins) is what
+    :data:`repro.sweep.engine.PARALLEL_MIN_POINTS` is calibrated
+    against; recording both keeps the auto-mode threshold honest.  On
+    single-core hosts the pool can never win — the section still
+    records the (slower) pool timings, and the gate is skipped.
+    """
+    from repro.sweep.engine import PARALLEL_MIN_POINTS, SweepEngine
+    from repro.sweep.plan import SweepRequest
+
+    request = SweepRequest(device="p100", n=n)
+    # Fewer than two workers can't beat serial by construction; force
+    # a real pool so the transport is exercised even on small hosts.
+    jobs = max(2, jobs)
+    rows = []
+    crossover = None
+    for count in CROSSOVER_GRID_SIZES:
+        configs = _synthetic_configs(count)
+        serial_s = _best_of(
+            lambda: SweepEngine(mode="serial").evaluate_configs(
+                request, configs
+            ),
+            repeats,
+        )
+        parallel_s = _best_of(
+            lambda: SweepEngine(jobs=jobs, mode="parallel")
+            .evaluate_configs(request, configs),
+            repeats,
+        )
+        rows.append(
+            {
+                "points": count,
+                "serial_s": serial_s,
+                "parallel_s": parallel_s,
+                "speedup": serial_s / parallel_s,
+            }
+        )
+        if crossover is None and parallel_s < serial_s:
+            crossover = count
+    return {
+        "n": n,
+        "jobs": jobs,
+        "transport": "shared-memory",
+        "rows": rows,
+        "measured_crossover": crossover,
+        "configured_threshold": PARALLEL_MIN_POINTS,
+        "gated": (os.cpu_count() or 1) >= 2,
+    }
+
+
+def _bench_incremental(*, repeats: int, points: int = 50_000) -> dict:
+    """Streaming front maintenance vs the batch array kernel.
+
+    Equivalence (same front, same order, same representatives) is a
+    hard gate; the timings document the amortized O(n log n) insert
+    stream next to the one-shot lexsort.
+    """
+    import numpy as np
+
+    from repro.core.incremental import IncrementalParetoFront
+    from repro.core.pareto import front_indices
+
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0.1, 10.0, points)
+    energies = rng.uniform(1.0, 1000.0, points)
+
+    batch_s = _best_of(lambda: front_indices(times, energies), repeats)
+
+    def stream() -> IncrementalParetoFront:
+        inc = IncrementalParetoFront()
+        inc.extend(zip(times.tolist(), energies.tolist()))
+        return inc
+
+    incremental_s = _best_of(stream, repeats)
+    inc_front = [(p.time_s, p.energy_j) for p in stream().points()]
+    idx = front_indices(times, energies)
+    batch_front = list(zip(times[idx].tolist(), energies[idx].tolist()))
+    return {
+        "points": points,
+        "front_size": len(batch_front),
+        "batch_s": batch_s,
+        "incremental_s": incremental_s,
+        "equivalent": inc_front == batch_front,
+    }
+
+
+_CHILD_RSS_SCRIPT = """\
+import json, resource, sys
+
+import numpy as np
+
+from repro.store.columnar import ColumnarStore, ShardKey
+
+payload = json.loads(sys.stdin.read())
+served = 0
+if payload["mode"] == "lookup":
+    store = ColumnarStore(payload["root"])
+    key = ShardKey(**payload["key"])
+    packed = np.asarray(payload["packed"], dtype=np.int64)
+    t, e, hit = store.lookup(key, packed)
+    served = int(hit.sum())
+print(json.dumps({
+    "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    "served": served,
+}))
+"""
+
+
+def _child_rss(payload: dict) -> dict:
+    """Run the RSS probe script in a fresh interpreter."""
+    import subprocess
+
+    import repro
+
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (pkg_root, env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD_RSS_SCRIPT],
+        input=json.dumps(payload),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+def _bench_large(*, lookup_rows: int = 1024) -> dict:
+    """Million-point synthetic shard: build, map, serve, measure RSS.
+
+    The store write is the parent's cost (``build_s``); the serve-side
+    measurement runs in fresh subprocesses so the mapped read path is
+    measured from a cold address space: one child opens the shard and
+    serves ``lookup_rows`` random keys, a control child only imports.
+    The peak-RSS delta between them, relative to the shard's bytes on
+    disk, is the sub-linearity gate (:data:`LARGE_RSS_LIMIT_FRAC`).
+    """
+    import dataclasses
+
+    import numpy as np
+
+    from repro.machines import get_machine
+    from repro.simgpu.calibration import P100_CAL
+    from repro.store.columnar import ColumnarStore, pack_configs, shard_key
+
+    configs = _synthetic_configs(LARGE_POINTS)
+    packed, bs, g, r = pack_configs(configs)
+    rng = np.random.default_rng(0)
+    times = rng.uniform(0.1, 10.0, LARGE_POINTS)
+    energies = rng.uniform(1.0, 1000.0, LARGE_POINTS)
+    key = shard_key(get_machine("p100"), P100_CAL, 1024)
+
+    with tempfile.TemporaryDirectory() as d:
+        store = ColumnarStore(d)
+        t0 = time.perf_counter()
+        store.append(key, bs, g, r, times, energies)
+        build_s = time.perf_counter() - t0
+        shard_bytes = (Path(d) / key.filename).stat().st_size
+
+        probe = rng.choice(packed, size=lookup_rows, replace=False)
+        t0 = time.perf_counter()
+        served_t, served_e, hit = ColumnarStore(d).lookup(key, probe)
+        lookup_s = time.perf_counter() - t0
+        assert bool(hit.all())
+
+        control = _child_rss({"mode": "import"})
+        lookup = _child_rss(
+            {
+                "mode": "lookup",
+                "root": d,
+                "key": dataclasses.asdict(key),
+                "packed": probe.tolist(),
+            }
+        )
+
+    delta_bytes = (
+        lookup["peak_rss_kb"] - control["peak_rss_kb"]
+    ) * 1024
+    return {
+        "points": LARGE_POINTS,
+        "shard_bytes": shard_bytes,
+        "build_s": build_s,
+        "lookup_rows": lookup_rows,
+        "lookup_hits": int(lookup["served"]),
+        "lookup_s": lookup_s,
+        "bytes_copied": 2 * 8 * lookup_rows,
+        "control_peak_rss_kb": control["peak_rss_kb"],
+        "lookup_peak_rss_kb": lookup["peak_rss_kb"],
+        "rss_delta_bytes": delta_bytes,
+        "rss_delta_frac_of_shard": delta_bytes / shard_bytes,
+        "limit_frac": LARGE_RSS_LIMIT_FRAC,
+    }
+
+
 def run_benchmark(
     *,
     device: str = "p100",
@@ -369,9 +622,13 @@ def run_benchmark(
     jobs: int | None = None,
     parallel: bool = True,
     planner: bool = True,
+    crossover: bool = True,
+    large: bool = False,
     telemetry_jsonl: str | Path | None = None,
 ) -> dict:
     """Run the backend benchmark; returns the BENCH_sweep.json document."""
+    import resource
+
     if repeats < 1:
         raise ValueError("repeats must be at least 1")
     if jobs is None:
@@ -390,11 +647,21 @@ def run_benchmark(
         "repeats": repeats,
         "cases": [c.as_dict() for c in cases],
     }
+    if crossover:
+        doc["parallel_crossover"] = _bench_crossover(
+            repeats=repeats, jobs=jobs
+        )
+    doc["incremental_front"] = _bench_incremental(repeats=repeats)
     if planner:
         doc["planner"] = _bench_planner(sizes, repeats=repeats)
         doc["telemetry_overhead"] = _bench_telemetry(
             sizes, repeats=repeats, jsonl_path=telemetry_jsonl
         )
+    if large:
+        doc["large"] = _bench_large()
+    doc["host"]["peak_rss_kb"] = resource.getrusage(
+        resource.RUSAGE_SELF
+    ).ru_maxrss
     return doc
 
 
@@ -435,6 +702,49 @@ def format_results(doc: dict) -> str:
         ],
         rows,
     )
+    x = doc.get("parallel_crossover")
+    if x is not None:
+        measured = x["measured_crossover"]
+        out += (
+            f"\n\nparallel crossover (shared-memory transport, "
+            f"{x['jobs']} workers, N={x['n']}): measured "
+            f"{measured if measured is not None else 'never'}, "
+            f"auto threshold {x['configured_threshold']}\n"
+            + format_table(
+                ["points", "serial (ms)", "parallel (ms)", "speedup"],
+                [
+                    (
+                        r["points"],
+                        f"{r['serial_s'] * 1e3:.2f}",
+                        f"{r['parallel_s'] * 1e3:.2f}",
+                        f"{r['speedup']:.2f}x",
+                    )
+                    for r in x["rows"]
+                ],
+            )
+        )
+    inc = doc.get("incremental_front")
+    if inc is not None:
+        out += (
+            f"\n\nincremental front: {inc['points']} points -> "
+            f"{inc['front_size']} front, batch "
+            f"{inc['batch_s'] * 1e3:.2f} ms, streaming "
+            f"{inc['incremental_s'] * 1e3:.2f} ms, equivalent: "
+            f"{'yes' if inc['equivalent'] else 'NO'}"
+        )
+    big = doc.get("large")
+    if big is not None:
+        out += (
+            f"\n\nlarge shard ({big['points']} points, "
+            f"{big['shard_bytes'] / 1e6:.0f} MB mapped): build "
+            f"{big['build_s'] * 1e3:.0f} ms, "
+            f"{big['lookup_rows']}-row lookup "
+            f"{big['lookup_s'] * 1e3:.2f} ms copying "
+            f"{big['bytes_copied'] / 1e3:.0f} kB; peak-RSS delta "
+            f"{big['rss_delta_bytes'] / 1e6:.1f} MB = "
+            f"{big['rss_delta_frac_of_shard'] * 100:.0f}% of shard "
+            f"(limit {big['limit_frac'] * 100:.0f}%)"
+        )
     p = doc.get("planner")
     if p is not None:
         out += (
@@ -506,6 +816,13 @@ def add_bench_flags(parser: argparse.ArgumentParser) -> None:
         help="skip the planner session case",
     )
     parser.add_argument(
+        "--large", action="store_true",
+        help=(
+            "include the million-point synthetic shard case (mapped "
+            "store build + subprocess peak-RSS gate)"
+        ),
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="single repeat, no parallel case — the CI smoke settings "
              "(the planner case stays on)",
@@ -544,6 +861,8 @@ def run_from_args(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         parallel=not (args.no_parallel or args.quick),
         planner=not args.no_planner,
+        crossover=not args.no_parallel,
+        large=args.large,
         telemetry_jsonl=telemetry_jsonl,
     )
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
@@ -581,6 +900,40 @@ def run_from_args(args: argparse.Namespace) -> int:
             f"{telemetry['overhead_frac'] * 100:.1f}% exceeds the "
             f"{TELEMETRY_OVERHEAD_LIMIT * 100:.0f}% limit on the warm "
             f"planner session — instrumentation regression",
+            file=sys.stderr,
+        )
+        failed = True
+    crossover = doc.get("parallel_crossover")
+    if crossover is not None and crossover["gated"]:
+        largest = crossover["rows"][-1]
+        if largest["speedup"] < 1.0:
+            print(
+                f"FAIL: shared-memory pool slower than serial at "
+                f"{largest['points']} points ({largest['speedup']:.2f}x) "
+                f"on a {doc['host']['cpus']}-cpu host — parallel "
+                f"transport regression",
+                file=sys.stderr,
+            )
+            failed = True
+    incremental = doc.get("incremental_front")
+    if incremental is not None and not incremental["equivalent"]:
+        print(
+            "FAIL: incremental Pareto front diverged from the batch "
+            "kernel — front maintenance regression",
+            file=sys.stderr,
+        )
+        failed = True
+    large = doc.get("large")
+    if (
+        large is not None
+        and large["rss_delta_frac_of_shard"] > LARGE_RSS_LIMIT_FRAC
+    ):
+        print(
+            f"FAIL: partial lookup over the mapped million-point shard "
+            f"grew peak RSS by "
+            f"{large['rss_delta_frac_of_shard'] * 100:.0f}% of the "
+            f"shard bytes (limit {LARGE_RSS_LIMIT_FRAC * 100:.0f}%) — "
+            f"zero-copy read path regression",
             file=sys.stderr,
         )
         failed = True

@@ -32,11 +32,14 @@ engine: the cache stores only the deterministic model output.
 from __future__ import annotations
 
 import math
+import os
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro import obs
 from repro.apps.matmul_gpu import MatmulConfig
@@ -46,7 +49,8 @@ from repro.simgpu.calibration import GPUCalibration
 from repro.sweep.cache import CacheRecord, SweepCache
 from repro.sweep.keys import MODEL_VERSION, sweep_key
 from repro.sweep.plan import SweepRequest
-from repro.sweep.worker import evaluate_chunk, evaluate_chunk_timed, evaluate_one
+from repro.sweep.shm import POINT_DTYPE, SharedPointBuffer, fill_rows_shm
+from repro.sweep.worker import evaluate_one
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.store.columnar import ColumnarStore
@@ -70,14 +74,17 @@ BACKENDS = ("scalar", "vectorized")
 MODES = ("auto", "serial", "parallel")
 
 #: Minimum missing-point count before ``mode="auto"`` fans a scalar
-#: sweep out over a process pool.  Measured heuristic: one scalar point
-#: costs ~50 µs while ``ProcessPoolExecutor`` startup plus per-chunk
-#: pickling costs tens of milliseconds, so the pool only amortizes
-#: above roughly 500-1000 points per worker — far above the paper's
-#: 146-point grids, which is why ``BENCH_sweep.json`` showed the pool
-#: path *slower* than serial there.  Below this threshold auto mode
+#: sweep out over a process pool.  Measured crossover, not a guess:
+#: one scalar point costs ~130 µs while pool startup costs ~100 ms
+#: (fork), so with the shared-memory transport (zero per-point result
+#: pickling) two workers break even around 1500-2000 points — the old
+#: value of 512 (~65 ms of serial work) could *never* amortize the
+#: startup, which is why ``BENCH_sweep.json`` showed the pool path
+#: losing to serial.  ``repro bench`` re-measures the crossover on the
+#: host and records it in the ``parallel_crossover`` section so this
+#: constant stays tied to evidence.  Below the threshold auto mode
 #: runs serially.
-PARALLEL_MIN_POINTS = 512
+PARALLEL_MIN_POINTS = 2048
 
 #: Adaptive chunk-size bounds for the process-pool path.
 MIN_CHUNK_SIZE = 4
@@ -263,8 +270,52 @@ class SweepEngine:
         """Evaluate an explicit configuration list of one request.
 
         The returned list is index-aligned with ``configs`` regardless
-        of parallelism or cache state.
+        of parallelism or cache state.  This is the compatibility
+        adapter over :meth:`table` — the hot path is columnar
+        (:data:`~repro.sweep.shm.POINT_DTYPE` arrays end to end) and
+        :class:`ParetoPoint` records are only materialized here, at
+        the reporting boundary.
         """
+        times, energies = self._objective_arrays(request, configs)
+        return [
+            ParetoPoint(time_s=t, energy_j=e, config=cfg.as_dict())
+            for cfg, t, e in zip(configs, times.tolist(), energies.tolist())
+        ]
+
+    def table(
+        self,
+        request: SweepRequest,
+        configs: Sequence[MatmulConfig] | None = None,
+    ) -> np.ndarray:
+        """Results of one request as a structured array (:data:`POINT_DTYPE`).
+
+        The zero-copy serving protocol shared with
+        :meth:`repro.sweep.planner.EvalPlanner.table`: no per-point
+        dicts, no :class:`ParetoPoint` objects — analysis consumers
+        operate on the columns directly.
+        """
+        if configs is None:
+            configs = request.configs()
+        times, energies = self._objective_arrays(request, configs)
+        count = len(configs)
+        out = np.empty(count, dtype=POINT_DTYPE)
+        out["bs"] = np.fromiter(
+            (c.bs for c in configs), dtype=np.int64, count=count
+        )
+        out["g"] = np.fromiter(
+            (c.g for c in configs), dtype=np.int64, count=count
+        )
+        out["r"] = np.fromiter(
+            (c.r for c in configs), dtype=np.int64, count=count
+        )
+        out["time_s"] = times
+        out["energy_j"] = energies
+        return out
+
+    def _objective_arrays(
+        self, request: SweepRequest, configs: Sequence[MatmulConfig]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(time_s, energy_j)`` columns of one request, index-aligned."""
         spec = request.spec
         cal = request.calibration
         n = request.n
@@ -278,10 +329,11 @@ class SweepEngine:
             points=len(configs),
         ):
             if self.store is not None:
-                return self._evaluate_with_store(spec, cal, n, configs)
+                return self._arrays_with_store(spec, cal, n, configs)
 
+            times = np.empty(len(configs), dtype=np.float64)
+            energies = np.empty(len(configs), dtype=np.float64)
             keys: list[str | None] = [None] * len(configs)
-            objectives: list[tuple[float, float] | None] = [None] * len(configs)
             missing: list[int] = []
             hits = 0
             for i, cfg in enumerate(configs):
@@ -292,7 +344,8 @@ class SweepEngine:
                     keys[i] = key
                     record = self.cache.get(key)
                     if record is not None:
-                        objectives[i] = (record.time_s, record.energy_j)
+                        times[i] = record.time_s
+                        energies[i] = record.energy_j
                         hits += 1
                         continue
                 missing.append(i)
@@ -301,50 +354,45 @@ class SweepEngine:
             obs.count("sweep.cache.misses", len(missing))
 
             if missing:
-                computed = self._compute(
+                t_new, e_new = self._compute(
                     spec, cal, n, [configs[i] for i in missing]
                 )
                 self.stats.computed += len(missing)
                 obs.count("sweep.points.computed", len(missing))
-                for i, obj in zip(missing, computed):
-                    objectives[i] = obj
-                    if self.cache is not None:
+                idx = np.asarray(missing, dtype=np.intp)
+                times[idx] = t_new
+                energies[idx] = e_new
+                if self.cache is not None:
+                    for j, i in enumerate(missing):
                         self.cache.put(
                             CacheRecord(
                                 key=keys[i],  # type: ignore[arg-type]
                                 device=spec.name,
                                 n=n,
                                 config=configs[i].as_dict(),
-                                time_s=obj[0],
-                                energy_j=obj[1],
+                                time_s=float(t_new[j]),
+                                energy_j=float(e_new[j]),
                                 model_version=MODEL_VERSION,
                             )
                         )
-
-            return [
-                ParetoPoint(
-                    time_s=obj[0], energy_j=obj[1], config=cfg.as_dict()
-                )
-                for cfg, obj in zip(configs, objectives)
-            ]
+            return times, energies
 
     # -- columnar-store path ------------------------------------------------
 
-    def _evaluate_with_store(
+    def _arrays_with_store(
         self,
         spec: GPUSpec,
         cal: GPUCalibration,
         n: int,
         configs: Sequence[MatmulConfig],
-    ) -> list[ParetoPoint]:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Hit/miss partition and fill against the columnar store.
 
         One vectorized lookup per request instead of one file read per
         point; computed misses are appended to the request's shard in a
-        single atomic write.
+        single atomic write.  Hit rows are copied out of the
+        memory-mapped shard only here, at serve time.
         """
-        import numpy as np
-
         from repro.store.columnar import pack_configs, shard_key
 
         key = shard_key(spec, cal, n, backend=self.backend)
@@ -355,33 +403,36 @@ class SweepEngine:
         obs.count("sweep.cache.hits", int(hit.sum()))
         obs.count("sweep.cache.misses", int(miss.size))
         if miss.size:
-            computed = self._compute(
+            t_new, e_new = self._compute(
                 spec, cal, n, [configs[i] for i in miss]
             )
             self.stats.computed += miss.size
             obs.count("sweep.points.computed", int(miss.size))
-            t_new = np.array([obj[0] for obj in computed])
-            e_new = np.array([obj[1] for obj in computed])
             times[miss] = t_new
             energies[miss] = e_new
             self.store.append(
                 key, bs[miss], g[miss], r[miss], t_new, e_new
             )
-        return [
-            ParetoPoint(time_s=t, energy_j=e, config=cfg.as_dict())
-            for cfg, t, e in zip(configs, times.tolist(), energies.tolist())
-        ]
+        return times, energies
 
     # -- computation --------------------------------------------------------
 
     def _use_pool(self, n_points: int) -> bool:
-        """Whether the scalar path should fan out over the pool."""
+        """Whether the scalar path should fan out over the pool.
+
+        Besides the configured policy, the pool is refused outright on
+        single-CPU hosts: with one core the workers only timeshare the
+        serial path's core and the startup cost can never amortize,
+        whatever the point count.
+        """
         if self.jobs == 1 or self.mode == "serial":
             return False
         if n_points <= chunk_size_for(n_points, self.jobs):
             return False  # a single chunk gains nothing from a pool
         if self.mode == "parallel":
-            return True
+            return True  # explicit request is always honored
+        if (os.cpu_count() or 1) < 2:
+            return False
         return n_points >= PARALLEL_MIN_POINTS
 
     def _compute(
@@ -390,19 +441,43 @@ class SweepEngine:
         cal: GPUCalibration,
         n: int,
         configs: Sequence[MatmulConfig],
-    ) -> list[tuple[float, float]]:
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(time_s, energy_j)`` arrays for ``configs``, index-aligned."""
         if self.backend == "vectorized":
-            from repro.simgpu.batch import evaluate_configs_batch
+            from repro.simgpu.batch import evaluate_configs_batch_arrays
 
             self.stats.record_mode("vectorized", len(configs))
-            return evaluate_configs_batch(spec, cal, n, configs)
+            return evaluate_configs_batch_arrays(spec, cal, n, configs)
         if not self._use_pool(len(configs)):
             self.stats.record_mode("serial", len(configs))
-            return [evaluate_one(spec, cal, n, c) for c in configs]
+            times = np.empty(len(configs), dtype=np.float64)
+            energies = np.empty(len(configs), dtype=np.float64)
+            for i, c in enumerate(configs):
+                times[i], energies[i] = evaluate_one(spec, cal, n, c)
+            return times, energies
+        return self._compute_pool(spec, cal, n, configs)
+
+    def _compute_pool(
+        self,
+        spec: GPUSpec,
+        cal: GPUCalibration,
+        n: int,
+        configs: Sequence[MatmulConfig],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Fan a chunked fill out over the pool via shared memory.
+
+        The parent writes the key columns into one shared-memory
+        :data:`~repro.sweep.shm.POINT_DTYPE` table, workers fill their
+        row ranges in place (:func:`repro.sweep.shm.fill_rows_shm` —
+        no per-point pickling in either direction), and the objective
+        columns are copied out once before the segment is unlinked.
+        """
         self.stats.record_mode("process-pool", len(configs))
         size = chunk_size_for(len(configs), self.jobs)
-        chunks = [
-            configs[i : i + size] for i in range(0, len(configs), size)
+        count = len(configs)
+        bounds = [
+            (start, min(start + size, count))
+            for start in range(0, count, size)
         ]
         tel = obs.get_telemetry()
         with obs.span(
@@ -410,31 +485,48 @@ class SweepEngine:
             device=spec.name,
             n=n,
             jobs=self.jobs,
-            chunks=len(chunks),
-            points=len(configs),
+            chunks=len(bounds),
+            points=count,
         ):
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                results: list[tuple[float, float]] = []
+            with SharedPointBuffer(count) as buf:
+                with obs.span(
+                    "engine.shm.attach",
+                    bytes=buf.nbytes,
+                    points=count,
+                    chunks=len(bounds),
+                ):
+                    rows = buf.rows
+                    rows["bs"] = np.fromiter(
+                        (c.bs for c in configs), dtype=np.int64, count=count
+                    )
+                    rows["g"] = np.fromiter(
+                        (c.g for c in configs), dtype=np.int64, count=count
+                    )
+                    rows["r"] = np.fromiter(
+                        (c.r for c in configs), dtype=np.int64, count=count
+                    )
+                    obs.count("engine.shm.bytes_shared", buf.nbytes)
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    futures = [
+                        pool.submit(
+                            fill_rows_shm,
+                            buf.name, count, start, stop, spec, cal, n,
+                        )
+                        for start, stop in bounds
+                    ]
+                    for future in futures:
+                        wall_s = future.result()
+                        if tel.enabled:
+                            # Workers cannot reach the parent registry,
+                            # so they report their own wall time and
+                            # the parent aggregates it here.
+                            tel.count("sweep.worker.chunks")
+                            tel.observe("sweep.worker.chunk_wall_s", wall_s)
                 if tel.enabled:
-                    # Workers cannot reach the parent registry, so they
-                    # report their own wall time and the parent
-                    # aggregates it here (chunk count, per-chunk wall
-                    # histogram, total worker-side compute seconds).
-                    futures = [
-                        pool.submit(evaluate_chunk_timed, spec, cal, n, chunk)
-                        for chunk in chunks
-                    ]
-                    for future in futures:
-                        values, wall_s = future.result()
-                        results.extend(values)
-                        tel.count("sweep.worker.chunks")
-                        tel.observe("sweep.worker.chunk_wall_s", wall_s)
-                    tel.count("sweep.worker.points", len(configs))
-                else:
-                    futures = [
-                        pool.submit(evaluate_chunk, spec, cal, n, chunk)
-                        for chunk in chunks
-                    ]
-                    for future in futures:
-                        results.extend(future.result())
-        return results
+                    tel.count("sweep.worker.points", count)
+                # The one copy of the parallel path: results leave the
+                # segment just before it is unlinked.
+                times = rows["time_s"].copy()
+                energies = rows["energy_j"].copy()
+                del rows
+        return times, energies

@@ -62,16 +62,10 @@ __all__ = [
     "SESSION_EXPERIMENTS",
 ]
 
-#: Structured row type results flow through on the hot path.
-POINT_DTYPE = np.dtype(
-    [
-        ("bs", np.int64),
-        ("g", np.int64),
-        ("r", np.int64),
-        ("time_s", np.float64),
-        ("energy_j", np.float64),
-    ]
-)
+#: Structured row type results flow through on the hot path (defined
+#: in :mod:`repro.sweep.shm`, shared with the shared-memory transport;
+#: re-exported here for compatibility).
+from repro.sweep.shm import POINT_DTYPE  # noqa: E402
 
 #: The sweep-driven experiments ``repro all`` runs through one planner.
 SESSION_EXPERIMENTS = (
@@ -113,7 +107,16 @@ class PlannerStats:
 
 
 class _GroupState:
-    """Per-shard pending set and result table (sorted packed keys)."""
+    """Per-shard pending set and resolved-key index.
+
+    With a store the group tracks only the sorted *keys* it has
+    resolved — the objective values stay in the (memory-mapped) store
+    shard and are copied out at serve time, so a million-point session
+    holds one int64 per point here, not three float64 columns.
+    Without a store there is nowhere else for computed values to live,
+    so the group keeps the objective columns in memory too
+    (:meth:`merge` vs :meth:`merge_keys`).
+    """
 
     __slots__ = ("key", "spec", "cal", "n", "pending", "packed", "times", "energies")
 
@@ -141,6 +144,10 @@ class _GroupState:
         """Objectives for ``packed`` (caller guarantees all known)."""
         pos = np.searchsorted(self.packed, packed)
         return self.times[pos], self.energies[pos]
+
+    def merge_keys(self, packed: np.ndarray) -> None:
+        """Mark sorted-unique ``packed`` keys resolved (store-backed)."""
+        self.packed = np.union1d(self.packed, packed)
 
     def merge(
         self, packed: np.ndarray, times: np.ndarray, energies: np.ndarray
@@ -240,21 +247,28 @@ class EvalPlanner:
                 tuple[GPUSpec, GPUCalibration], list[tuple[_GroupState, np.ndarray]]
             ] = {}
             with obs.span("planner.partition", groups=len(self._groups)):
-                for group in self._groups.values():
-                    if not group.pending:
-                        continue
+                pending_groups = [
+                    g for g in self._groups.values() if g.pending
+                ]
+                if self.store is not None and pending_groups:
+                    # Warm the shard cache with overlapped opens: each
+                    # is an independent sidecar read + header mmap, so
+                    # a multi-shard partition pays one open latency,
+                    # not one per shard.
+                    self.store.open_shards([g.key for g in pending_groups])
+                for group in pending_groups:
                     packed = np.unique(np.concatenate(group.pending))
                     group.pending.clear()
                     packed = packed[~group.known_mask(packed)]
                     if not packed.size:
                         continue
                     if self.store is not None:
-                        times, energies, hit = self.store.lookup(
-                            group.key, packed
-                        )
+                        # Mask-only partition: no objective page is
+                        # faulted and no row copied until serve time.
+                        hit = self.store.contains(group.key, packed)
                         hits = int(hit.sum())
                         if hits:
-                            group.merge(packed[hit], times[hit], energies[hit])
+                            group.merge_keys(packed[hit])
                             self.stats.store_hits += hits
                             obs.count("planner.store_hits", hits)
                         packed = packed[~hit]
@@ -337,7 +351,9 @@ class EvalPlanner:
                 self.store.append(
                     grp.key, bs[offset:end], g[offset:end], r[offset:end], t, e
                 )
-            grp.merge(p, t, e)
+                grp.merge_keys(p)  # values live in the store shard
+            else:
+                grp.merge(p, t, e)
             offset = end
 
     # -- serving (engine protocol) ------------------------------------------
@@ -351,7 +367,9 @@ class EvalPlanner:
 
         The columnar fast path: no per-point dicts, no ParetoPoint
         objects.  Unknown points are filled lazily through the normal
-        dedup/partition/mega-batch machinery.
+        dedup/partition/mega-batch machinery.  With a store, the
+        objective values are copied out of the (memory-mapped) shard
+        here — serve time — and nowhere earlier.
         """
         if configs is None:
             configs = request.configs()
@@ -374,7 +392,20 @@ class EvalPlanner:
                 self.stats.requested += len(missing)
                 obs.count("planner.points.requested", len(missing))
                 self.execute()
-            times, energies = group.get(packed)
+            if self.store is not None:
+                times, energies, hit = self.store.lookup(group.key, packed)
+                if not hit.all():
+                    # Every key was resolved against this shard during
+                    # partition/fill, so a miss here means the shard
+                    # went untrusted mid-session (e.g. garbage values
+                    # surfaced at copy-out).  Fail loudly rather than
+                    # serve NaN objectives into an analysis.
+                    raise RuntimeError(
+                        f"store shard {group.key.filename} lost "
+                        f"{int((~hit).sum())} resolved points mid-session"
+                    )
+            else:
+                times, energies = group.get(packed)
         self.stats.served += len(configs)
         obs.count("planner.points.served", len(configs))
         out = np.empty(len(configs), dtype=POINT_DTYPE)

@@ -1,0 +1,133 @@
+"""Shared-memory result transport for the process-pool sweep path.
+
+The original parallel path shipped every chunk's results back through
+the ``ProcessPoolExecutor`` future machinery: each worker built a list
+of ``(time_s, energy_j)`` tuples, pickled it, and the parent unpickled
+and re-assembled — one allocation and one copy per point on each side
+of the pipe.  At paper scale that transport overhead was larger than
+the evaluation itself, which is why ``BENCH_sweep.json`` showed
+``mode="parallel"`` *losing* to serial.
+
+This module replaces the transport with one
+:class:`multiprocessing.shared_memory.SharedMemory` segment per
+parallel fill, laid out as a :data:`POINT_DTYPE` structured array:
+
+* the parent writes the ``bs``/``g``/``r`` key columns once, before
+  the fan-out (workers never unpickle a config list);
+* each worker attaches to the segment by name, evaluates its
+  ``[start, stop)`` row range, and writes ``time_s``/``energy_j``
+  directly at its offsets — no result pickling, no reassembly;
+* the parent reads the filled columns back as NumPy views.
+
+The only pickled per-task payload is ``(name, start, stop)`` plus the
+frozen spec/calibration dataclasses — constant-size regardless of the
+chunk.  Workers are still pure: the evaluation call is exactly the one
+the serial path makes, which keeps the parallel path bit-identical to
+serial (``tests/test_sweep_parity.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["POINT_DTYPE", "SharedPointBuffer", "fill_rows_shm"]
+
+#: Structured row type results flow through on the hot path: the packed
+#: configuration key columns plus the two objective columns.  Shared by
+#: the planner's serving tables, the engine's ``table()`` protocol and
+#: the shared-memory transport.
+POINT_DTYPE = np.dtype(
+    [
+        ("bs", np.int64),
+        ("g", np.int64),
+        ("r", np.int64),
+        ("time_s", np.float64),
+        ("energy_j", np.float64),
+    ]
+)
+
+
+class SharedPointBuffer:
+    """One sweep's :data:`POINT_DTYPE` table in a shared-memory segment.
+
+    Context manager owning the segment lifecycle on the parent side:
+    ``create()`` on entry, ``close() + unlink()`` on exit (the segment
+    never outlives the fill).  Workers attach by :attr:`name` through
+    :func:`attach_rows` and must *not* unlink.
+    """
+
+    def __init__(self, n_rows: int) -> None:
+        self.n_rows = n_rows
+        self.nbytes = max(1, n_rows * POINT_DTYPE.itemsize)
+        self._shm = None
+
+    def __enter__(self) -> "SharedPointBuffer":
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(create=True, size=self.nbytes)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._shm is not None:
+            # Drop the array view before closing: SharedMemory refuses
+            # to close while exported buffers are alive.
+            shm, self._shm = self._shm, None
+            shm.close()
+            shm.unlink()
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def rows(self) -> np.ndarray:
+        """The full table as a zero-copy view of the segment."""
+        return np.ndarray(
+            (self.n_rows,), dtype=POINT_DTYPE, buffer=self._shm.buf
+        )
+
+
+def attach_rows(shm, n_rows: int) -> np.ndarray:
+    """A worker-side zero-copy view of an attached segment."""
+    return np.ndarray((n_rows,), dtype=POINT_DTYPE, buffer=shm.buf)
+
+
+def fill_rows_shm(
+    shm_name: str,
+    n_rows: int,
+    start: int,
+    stop: int,
+    spec,
+    cal,
+    n: int,
+) -> float:
+    """Process-pool entry point: evaluate rows ``[start, stop)`` in place.
+
+    Attaches to the parent's segment, reads its slice of the key
+    columns, evaluates each configuration with the exact serial-path
+    call (``GPUDevice.run_matmul``, no noise RNG), and writes the
+    objective columns at the same offsets.  Returns the worker-side
+    wall seconds so the parent can aggregate per-chunk timings into its
+    telemetry registry (workers cannot reach it directly).
+    """
+    import time
+
+    from multiprocessing import shared_memory
+
+    from repro.simgpu.device import GPUDevice
+
+    t0 = time.perf_counter()
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        rows = attach_rows(shm, n_rows)
+        device = GPUDevice(spec, cal)
+        for i in range(start, stop):
+            result = device.run_matmul(
+                n, int(rows["bs"][i]), int(rows["g"][i]), int(rows["r"][i])
+            )
+            rows["time_s"][i] = result.time_s
+            rows["energy_j"][i] = result.dynamic_energy_j
+        del rows  # release the exported buffer before close()
+    finally:
+        shm.close()
+    return time.perf_counter() - t0

@@ -87,7 +87,7 @@ class TestBenchCommand:
         import json
 
         doc = json.loads(out.read_text())
-        assert doc["version"] == "repro-bench/3"
+        assert doc["version"] == "repro-bench/4"
         (case,) = doc["cases"]
         assert case["device"] == "p100" and case["n"] == 1024
         assert case["configs"] == 146
@@ -100,6 +100,17 @@ class TestBenchCommand:
         assert planner["unique_points"] > 0
         assert planner["dedup_ratio"] > 1.0
         assert planner["planner_warm_s"] > 0
+        crossover = doc["parallel_crossover"]
+        assert crossover["transport"] == "shared-memory"
+        assert crossover["configured_threshold"] > 0
+        assert [r["points"] for r in crossover["rows"]] == sorted(
+            r["points"] for r in crossover["rows"]
+        )
+        incremental = doc["incremental_front"]
+        assert incremental["equivalent"] is True
+        assert incremental["front_size"] > 0
+        assert "large" not in doc  # million-point case is opt-in
+        assert doc["host"]["peak_rss_kb"] > 0
         assert "vectorized" in capsys.readouterr().out
 
     def test_sweep_with_cache_dir_populates_cache(self, tmp_path, capsys):
@@ -133,7 +144,9 @@ class TestBenchCommand:
             ["sweep", "--device", "k40c", "--n", "2048",
              "--store-dir", str(store)]
         ) == 0
-        assert len(list(store.glob("*.npz"))) == 1  # one shard, not 146 files
+        # One v2 shard (block + sidecar), not 146 files.
+        assert len(list(store.glob("*.npy"))) == 1
+        assert len(list(store.glob("*.meta.json"))) == 1
         first = capsys.readouterr().out
         # Warm rerun: identical output from pure shard lookups.
         assert main(
@@ -161,7 +174,7 @@ class TestAllCommand:
             assert section in out
         assert "planner session:" in out
         assert "0 store hits" in out  # cold run
-        assert len(list(store.glob("*.npz"))) > 0
+        assert len(list(store.glob("*.npy"))) > 0
 
         # Warm rerun: everything from the store, zero computed.
         assert main(["all", "--store-dir", str(store)]) == 0

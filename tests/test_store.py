@@ -93,7 +93,10 @@ class TestShardKey:
     def test_filename_is_digest_derived(self):
         key = _p100_key()
         assert key.digest[:16] in key.filename
-        assert key.filename.endswith(".npz")
+        assert key.filename.endswith(".npy")
+        assert key.meta_filename.endswith(".meta.json")
+        assert key.legacy_filename.endswith(".npz")
+        assert key.meta_filename.startswith(key.stem)
 
 
 class TestColumnarStore:
@@ -195,6 +198,7 @@ class TestColumnarStore:
         bs, g, r, t, e = _rows()
         store.append(key, bs, g, r, t, e)
         shutil.copy(store.shard_path(key), store.shard_path(other))
+        shutil.copy(store.meta_path(key), store.meta_path(other))
         fresh = ColumnarStore(tmp_path)
         packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
         with pytest.warns(StoreIntegrityWarning, match="stale"):
@@ -222,6 +226,7 @@ class TestColumnarStore:
         # Even a byte-copy of the stale shard to the new address fails
         # the soundness check (its meta carries the old version+digest).
         shutil.copy(store.shard_path(old_key), fresh.shard_path(new_key))
+        shutil.copy(store.meta_path(old_key), fresh.meta_path(new_key))
         fresh2 = ColumnarStore(tmp_path)
         with pytest.warns(StoreIntegrityWarning, match="stale"):
             _, _, hit = fresh2.lookup(new_key, packed)
@@ -266,6 +271,172 @@ class TestColumnarStore:
         store = ColumnarStore(tmp_path / "never-written")
         assert store.manifest() == {"format": MANIFEST_FORMAT, "shards": {}}
         assert len(store) == 0
+
+
+class TestShardFormatV2:
+    """The mmap fast path: lazy opens, copy-on-serve, legacy upgrade."""
+
+    @pytest.fixture()
+    def tel(self):
+        from repro import obs
+
+        prev = obs.get_telemetry()
+        tel = obs.set_telemetry(obs.Telemetry("summary"))
+        yield tel
+        obs.set_telemetry(prev)
+
+    def _seed(self, tmp_path, count=256):
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        bs, g, r, t, e = _rows(count)
+        store.append(key, bs, g, r, t, e)
+        return key, bs, g, r, t, e
+
+    def test_fresh_lookup_maps_the_shard(self, tmp_path):
+        key, bs, g, r, t, e = self._seed(tmp_path)
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(key, packed[:4])
+        assert hit.all()
+        shard = fresh._shards[key.digest]
+        assert shard.mapped
+        assert isinstance(shard.block, np.memmap)
+
+    def test_partial_hit_copies_only_served_rows(self, tmp_path, tel):
+        """Regression for the eager full-shard decompress: serving a
+        small key subset out of a large shard must copy exactly the
+        served objective lanes, never the whole shard."""
+        key, bs, g, r, t, e = self._seed(tmp_path, count=256)
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        times, energies, hit = fresh.lookup(key, packed[:10])
+        assert hit.all()
+        np.testing.assert_array_equal(times, t[:10])
+        assert tel.counters["store.shard.mmap_opens"] == 1
+        # Two float64 lanes per served row — and nothing else.
+        assert tel.counters["store.shard.bytes_copied"] == 10 * 2 * 8
+        shard_bytes = fresh._shards[key.digest].block.nbytes
+        assert tel.counters["store.shard.bytes_copied"] < shard_bytes // 10
+
+    def test_contains_partitions_without_copying_values(self, tmp_path, tel):
+        key, bs, g, r, t, e = self._seed(tmp_path)
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        probe = np.concatenate([packed[:5], [pack_config(31, 7, 999)]])
+        hit = fresh.contains(key, probe)
+        assert list(hit) == [True] * 5 + [False]
+        assert tel.counters.get("store.shard.bytes_copied", 0) == 0
+        assert tel.counters["store.shard.hits"] == 5
+        assert tel.counters["store.shard.misses"] == 1
+
+    def test_open_shards_warms_the_cache(self, tmp_path, tel):
+        a = _p100_key()
+        b = _p100_key(n=8192)
+        store = ColumnarStore(tmp_path)
+        bs, g, r, t, e = _rows()
+        store.append(a, bs, g, r, t, e)
+        store.append(b, bs, g, r, t, e)
+        fresh = ColumnarStore(tmp_path)
+        fresh.open_shards([a, b, a])  # duplicates are deduped
+        assert tel.counters["store.shard.mmap_opens"] == 2
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(a, packed)
+        assert hit.all()
+        assert tel.counters["store.shard.mmap_opens"] == 2  # cache hit
+
+    def test_torn_pair_missing_sidecar_is_corrupt(self, tmp_path):
+        key, bs, g, r, t, e = self._seed(tmp_path)
+        store = ColumnarStore(tmp_path)
+        store.meta_path(key).unlink()
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            _, _, hit = store.lookup(key, packed)
+        assert not hit.any()
+
+    def test_torn_pair_row_count_mismatch_is_corrupt(self, tmp_path):
+        key, bs, g, r, t, e = self._seed(tmp_path)
+        store = ColumnarStore(tmp_path)
+        meta = json.loads(store.meta_path(key).read_text())
+        meta["points"] += 1
+        store.meta_path(key).write_text(json.dumps(meta))
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            _, _, hit = store.lookup(
+                key, np.array([pack_config(4, 2, 12)])
+            )
+        assert not hit.any()
+
+    def test_garbage_values_degrade_to_miss_at_serve_time(self, tmp_path):
+        """Mapped opens skip value validation (it would fault every
+        page); a structurally-sound shard with non-finite objectives
+        must still never be served — the copy-out boundary checks the
+        lanes it serves."""
+        key, bs, g, r, t, e = self._seed(tmp_path)
+        block = np.load(store_path := ColumnarStore(tmp_path).shard_path(key),
+                        mmap_mode="r+", allow_pickle=False)
+        block[4, :] = np.float64(np.nan).view(np.int64)  # time_s lanes
+        block.flush()
+        del block
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        with pytest.warns(StoreIntegrityWarning, match="corrupt"):
+            times, energies, hit = fresh.lookup(key, packed)
+        assert not hit.any()
+        assert np.isnan(times).all()
+        assert fresh.corrupt_shards == 1
+
+    def test_legacy_npz_shard_is_read_and_upgraded(self, tmp_path):
+        """A v1 .npz at a shard's identity serves transparently and is
+        rewritten in v2 form (npz removed) by the next append."""
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        order = np.argsort(packed)
+        store = ColumnarStore(tmp_path)
+        store.root.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "format": "repro-sweep-store/1",
+            "device": key.device,
+            "n": key.n,
+            "model_version": key.model_version,
+            "backend": key.backend,
+            "digest": key.digest,
+            "points": len(packed),
+        }
+        with open(store.legacy_path(key), "wb") as fh:
+            np.savez(
+                fh,
+                meta=np.array(json.dumps(meta)),
+                packed=packed[order],
+                bs=bs[order].astype(np.int64),
+                g=g[order].astype(np.int64),
+                r=r[order].astype(np.int64),
+                time_s=t[order],
+                energy_j=e[order],
+            )
+        times, energies, hit = store.lookup(key, packed)
+        assert hit.all()
+        np.testing.assert_array_equal(times, t)
+        np.testing.assert_array_equal(energies, e)
+        # The upgrade: append one new row -> v2 pair written, npz gone.
+        store.append(key, [31], [7], [99], [1.0], [2.0])
+        assert store.shard_path(key).is_file()
+        assert store.meta_path(key).is_file()
+        assert not store.legacy_path(key).is_file()
+        fresh = ColumnarStore(tmp_path)
+        times2, _, hit2 = fresh.lookup(key, packed)
+        assert hit2.all()
+        np.testing.assert_array_equal(times2, t)
+
+    def test_rebuilt_manifest_covers_v2_pairs(self, tmp_path):
+        key = _p100_key()
+        bs, g, r, t, e = _rows()
+        store = ColumnarStore(tmp_path)
+        store.append(key, bs, g, r, t, e)
+        (tmp_path / "manifest.json").unlink()
+        fresh = ColumnarStore(tmp_path)
+        entry = fresh.manifest()["shards"][key.digest]
+        assert entry["points"] == len(bs)
+        assert entry["file"].endswith(".npy")
 
 
 class TestEngineWithStore:

@@ -256,17 +256,40 @@ class TestSweepEngine:
         assert engine.stats.mode_points == {"serial": len(points)}
 
     def test_auto_mode_pool_policy(self):
+        import os
+
         from repro.sweep import PARALLEL_MIN_POINTS
 
         auto = SweepEngine(jobs=4)
         assert not auto._use_pool(PARALLEL_MIN_POINTS - 1)
-        assert auto._use_pool(PARALLEL_MIN_POINTS)
+        # Above the measured crossover auto fans out — but only where
+        # the pool can actually win: on a single-CPU host the workers
+        # timeshare the serial path's core, so auto stays serial at any
+        # point count.
+        multicore = (os.cpu_count() or 1) >= 2
+        assert auto._use_pool(PARALLEL_MIN_POINTS) == multicore
         # Forced modes override the threshold in both directions.
         assert SweepEngine(jobs=4, mode="parallel")._use_pool(146)
         assert not SweepEngine(jobs=4, mode="serial")._use_pool(10_000)
         # A single worker or a single chunk never pays for a pool.
         assert not SweepEngine(jobs=1, mode="parallel")._use_pool(10_000)
         assert not SweepEngine(jobs=4, mode="parallel")._use_pool(3)
+
+    def test_auto_mode_never_slower_than_serial_policy(self):
+        """The auto policy only ever picks the pool when (a) the host
+        has cores to win with and (b) the grid clears the measured
+        crossover — i.e. for every point count where serial is the
+        faster mode, auto picks serial."""
+        import os
+
+        from repro.sweep import PARALLEL_MIN_POINTS
+
+        auto = SweepEngine(jobs=4)
+        for n_points in (1, 16, 146, 512, PARALLEL_MIN_POINTS - 1):
+            assert not auto._use_pool(n_points)
+        if (os.cpu_count() or 1) < 2:
+            for n_points in (PARALLEL_MIN_POINTS, 10 * PARALLEL_MIN_POINTS):
+                assert not auto._use_pool(n_points)
 
     def test_forced_parallel_records_pool_mode(self):
         engine = SweepEngine(jobs=2, mode="parallel")
