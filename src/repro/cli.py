@@ -18,6 +18,11 @@ custom workload, without writing code:
   misses filled in vectorized mega-batches (see
   :mod:`repro.sweep.planner`);
 * ``machines`` — list the platform registry;
+* ``devices`` — manage the declarative device registry
+  (:mod:`repro.devices`): ``list``/``show``/``validate`` the
+  ``repro-device/1`` files, ``synth`` profiling samples from a
+  registered device, and ``fit`` a calibration from (time, energy)
+  samples;
 * ``bench`` — time the scalar / parallel / vectorized sweep backends
   and the planner session path, and write ``BENCH_sweep.json``;
 * ``cache migrate`` — convert a JSON point cache into a columnar
@@ -100,6 +105,14 @@ def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # Every --device flag derives its choices from the device registry
+    # — the single source of truth — so subparsers cannot drift apart
+    # and data-file devices ($REPRO_DEVICE_DIR) appear everywhere at
+    # once.
+    from repro.devices.registry import gpu_device_choices
+
+    device_choices = gpu_device_choices()
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -152,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="sweep a GPU matmul workload and print the front"
     )
     add_engine_flags(sweep)
-    sweep.add_argument("--device", choices=("k40c", "p100"), default="p100")
+    sweep.add_argument("--device", choices=device_choices, default="p100")
     sweep.add_argument("--n", type=int, default=10240, help="matrix size")
     sweep.add_argument(
         "--products", type=int, default=24, help="total products T = G*R"
@@ -175,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         "tradeoff",
         help="best energy saving within a slowdown budget",
     )
-    trade.add_argument("--device", choices=("k40c", "p100"), default="p100")
+    trade.add_argument("--device", choices=device_choices, default="p100")
     trade.add_argument("--n", type=int, default=10240)
     trade.add_argument(
         "--budget", type=float, default=5.0,
@@ -216,6 +229,101 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("file", help="telemetry JSONL file to render")
 
     sub.add_parser("machines", help="list the platform registry")
+
+    devices = sub.add_parser(
+        "devices",
+        help="manage the declarative device registry (repro-device/1)",
+    )
+    dev_sub = devices.add_subparsers(dest="devices_command", required=True)
+
+    dev_sub.add_parser(
+        "list", help="list every registered device and its source"
+    )
+
+    dev_show = dev_sub.add_parser(
+        "show", help="print one device's repro-device/1 document"
+    )
+    dev_show.add_argument("name", help="registry key or full spec name")
+
+    dev_validate = dev_sub.add_parser(
+        "validate",
+        help=(
+            "schema-check device files; --all also verifies the bundled "
+            "K40c/P100/Haswell files reproduce the in-code constants "
+            "bit-for-bit"
+        ),
+    )
+    dev_validate.add_argument(
+        "files", nargs="*", metavar="FILE",
+        help="device files to validate (.json/.toml)",
+    )
+    dev_validate.add_argument(
+        "--all", action="store_true",
+        help=(
+            "validate the whole registry (bundled + $REPRO_DEVICE_DIR) "
+            "and the bundled-constants parity"
+        ),
+    )
+
+    dev_synth = dev_sub.add_parser(
+        "synth",
+        help=(
+            "synthesize pinned-clock (time, energy) profiling samples "
+            "from a registered device (round-trip/demo input for `fit`)"
+        ),
+    )
+    dev_synth.add_argument(
+        "--device", required=True, choices=device_choices,
+        help="registered GPU to sample",
+    )
+    dev_synth.add_argument(
+        "--output", required=True, metavar="FILE",
+        help="samples file to write (repro-fit-samples/1 JSON)",
+    )
+    dev_synth.add_argument(
+        "--noise", type=float, default=0.0, metavar="SIGMA",
+        help="relative 1-sigma energy jitter (default 0: noiseless)",
+    )
+    dev_synth.add_argument(
+        "--seed", type=int, default=0, help="jitter RNG seed",
+    )
+
+    dev_fit = dev_sub.add_parser(
+        "fit",
+        help=(
+            "fit power-model calibration constants from (time, energy) "
+            "samples (least squares + cross-validated selection)"
+        ),
+    )
+    dev_fit.add_argument(
+        "--samples", required=True, metavar="FILE",
+        help="repro-fit-samples/1 JSON file (profiled or `synth` output)",
+    )
+    dev_fit.add_argument(
+        "--device", required=True, choices=device_choices,
+        help="registered GPU the samples were taken on (spec source)",
+    )
+    dev_fit.add_argument(
+        "--template", default=None, metavar="NAME",
+        help=(
+            "registered GPU providing the timing-side constants "
+            "(default: --device)"
+        ),
+    )
+    dev_fit.add_argument(
+        "--key", default=None, metavar="SLUG",
+        help=(
+            "registry key for the fitted device document "
+            "(default: <device>-fit)"
+        ),
+    )
+    dev_fit.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the fitted device as a repro-device/1 JSON file",
+    )
+    dev_fit.add_argument(
+        "--description", default="", help="description for the output file"
+    )
 
     cache = sub.add_parser(
         "cache", help="manage the persistent sweep result stores"
@@ -500,11 +608,12 @@ def _run_front(path: str) -> str:
 
 
 def _run_machines() -> str:
-    from repro.machines import MACHINES
+    from repro.devices.registry import default_registry
     from repro.machines.specs import GPUSpec
 
     rows = []
-    for key, spec in sorted(MACHINES.items()):
+    for entry in default_registry().entries():
+        key, spec = entry.key, entry.spec
         if isinstance(spec, GPUSpec):
             detail = (
                 f"{spec.cuda_cores} CUDA cores, "
@@ -518,6 +627,146 @@ def _run_machines() -> str:
             )
         rows.append((key, spec.name, detail))
     return format_table(["key", "name", "summary"], rows)
+
+
+def _device_source_label(source: str) -> str:
+    """Compact provenance label: bundled files print as 'bundled'."""
+    from pathlib import Path
+
+    from repro.devices.registry import bundled_dir
+
+    try:
+        if Path(source).resolve().parent == bundled_dir():
+            return "bundled"
+    except (OSError, ValueError):
+        pass
+    return source
+
+
+def _run_devices_list() -> str:
+    from repro.devices.registry import default_registry
+
+    rows = [
+        (
+            entry.key,
+            entry.kind,
+            entry.spec.name,
+            _device_source_label(entry.source),
+        )
+        for entry in default_registry().entries()
+    ]
+    return format_table(["key", "kind", "name", "source"], rows)
+
+
+def _run_devices_show(name: str) -> str:
+    import json
+
+    from repro.devices.registry import default_registry
+    from repro.devices.schema import device_to_document
+
+    entry = default_registry().get(name)
+    doc = device_to_document(
+        entry.key, entry.spec, entry.calibration,
+        description=entry.description,
+    )
+    # Provenance to stderr so `devices show X > new.json` emits a
+    # valid document (the documented start-from-a-bundled-part flow).
+    print(
+        f"# source: {_device_source_label(entry.source)}", file=sys.stderr
+    )
+    return json.dumps(doc, indent=2)
+
+
+def _run_devices_validate(files: list[str], validate_all: bool) -> int:
+    from repro.devices.registry import (
+        default_registry,
+        refresh_default_registry,
+        validate_bundled,
+    )
+    from repro.devices.schema import DeviceError, load_device_file
+
+    if not files and not validate_all:
+        raise SystemExit(
+            "repro devices validate: give device FILEs and/or --all"
+        )
+    failures = 0
+    for path in files:
+        try:
+            entry = load_device_file(path)
+        except DeviceError as exc:
+            print(f"FAIL {path}: {exc}")
+            failures += 1
+        else:
+            print(f"ok   {path}: {entry.key} ({entry.kind}, {entry.spec.name})")
+    if validate_all:
+        # Re-read the directories: validate must see the files as they
+        # are *now*, not as a previous command in this process cached
+        # them.
+        refresh_default_registry()
+        try:
+            registry = default_registry()
+        except DeviceError as exc:
+            print(f"FAIL registry: {exc}")
+            failures += 1
+        else:
+            print(
+                f"ok   registry: {len(registry)} device(s) "
+                f"({', '.join(registry.keys())})"
+            )
+        for problem in validate_bundled():
+            print(f"FAIL bundled parity: {problem}")
+            failures += 1
+        if failures == 0:
+            print(
+                "ok   bundled parity: k40c/p100/haswell reproduce the "
+                "in-code constants bit-for-bit"
+            )
+    return 1 if failures else 0
+
+
+def _run_devices_synth(
+    device: str, output: str, noise: float, seed: int
+) -> str:
+    from repro.devices.fit import save_samples, synthesize_samples
+    from repro.devices.registry import device_calibration, device_spec
+
+    spec = device_spec(device)
+    samples = synthesize_samples(
+        spec, device_calibration(device), noise=noise, seed=seed,
+    )
+    save_samples(output, samples, device=device)
+    return (
+        f"wrote {len(samples)} pinned-clock samples for {spec.name} "
+        f"to {output}"
+        + (f" (noise sigma {noise:g}, seed {seed})" if noise > 0 else "")
+    )
+
+
+def _run_devices_fit(args: argparse.Namespace) -> str:
+    from repro.devices.fit import fit_calibration, load_samples
+    from repro.devices.registry import device_calibration, device_spec
+    from repro.devices.schema import dump_device_json
+    from repro.machines.specs import GPUSpec
+
+    spec = device_spec(args.device)
+    if not isinstance(spec, GPUSpec):
+        raise SystemExit(
+            f"repro: device {args.device!r} is not a GPU; the fitting "
+            f"pipeline covers the GPU power model only"
+        )
+    template = device_calibration(args.template or args.device)
+    samples = load_samples(args.samples)
+    result = fit_calibration(spec, samples, template=template)
+    out = [result.render(base=template)]
+    if args.output is not None:
+        key = args.key or f"{args.device}-fit"
+        dump_device_json(
+            args.output, key, spec, result.calibration,
+            description=args.description
+            or f"Fitted from {len(samples)} samples in {args.samples}.",
+        )
+        out.append(f"\nwrote {args.output} (key {key!r})")
+    return "\n".join(out)
 
 
 def _experiment_requests(exp_id: str):
@@ -601,6 +850,19 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(_run_all(args.store_dir, args.backend))
     elif args.command == "machines":
         print(_run_machines())
+    elif args.command == "devices":
+        if args.devices_command == "list":
+            print(_run_devices_list())
+        elif args.devices_command == "show":
+            print(_run_devices_show(args.name))
+        elif args.devices_command == "validate":
+            return _run_devices_validate(args.files, args.all)
+        elif args.devices_command == "synth":
+            print(_run_devices_synth(args.device, args.output, args.noise, args.seed))
+        elif args.devices_command == "fit":
+            print(_run_devices_fit(args))
+        else:  # pragma: no cover - argparse enforces choices
+            raise AssertionError(args.devices_command)
     elif args.command == "cache":
         if args.cache_command == "migrate":
             print(_run_cache_migrate(args.cache_dir, args.store_dir))
@@ -637,8 +899,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise SystemExit(f"repro: {exc}")
     if tel.enabled:
         tel.set_manifest(_provenance_for(args))
-    with obs.span(f"cli.{args.command}"):
-        code = _dispatch(args)
+    from repro.devices.schema import DeviceError
+
+    try:
+        with obs.span(f"cli.{args.command}"):
+            code = _dispatch(args)
+    except DeviceError as exc:
+        # Schema violations and unknown-device lookups are usage
+        # errors with actionable messages, not tracebacks.
+        raise SystemExit(f"repro: {exc}")
+    except BrokenPipeError:
+        # `repro devices show X | head` and friends: the reader went
+        # away; exit quietly like any well-behaved filter.
+        sys.stderr.close()
+        return 0
     summary = tel.flush()
     if summary is not None:
         print(summary)

@@ -1,0 +1,504 @@
+"""Calibration fitting from (time, energy) scatter samples.
+
+New devices should be *recoverable parameter blocks*, not hand-tuned
+modules: given profiled ``(config, time, energy)`` samples from a real
+part — or synthesized ones from a known calibration, for the
+round-trip test — :func:`fit_calibration` recovers the power-model
+constants of :class:`repro.simgpu.calibration.GPUCalibration` by
+linear least squares with cross-validated model selection, in the
+spirit of :mod:`repro.energymodel.selection` and the analytic-model
+literature (Hofmann et al., arXiv:1803.01618; Shahid et al.,
+arXiv:1907.02805).
+
+Measurement protocol
+--------------------
+Samples are taken at a **pinned base clock** (``nvidia-smi -ac``
+style, ``fixed_clock=True`` in the simulator) — standard profiling
+practice, and what makes the model linear: at ``f = f_base`` the DVFS
+scale factors are exactly 1, so the dynamic power of a sample is
+
+.. math::
+
+    P = e_{lane} x_1 + e_{dram} x_2 + p_{act0} + p_{act1}
+        \\, occ^{occ\\_exp} + aux_w x_5 + \\lambda L^2 / 100
+
+with per-sample features computed from the kernel resource model
+(``x_1`` lane issue rate, ``x_2`` DRAM byte rate, ``x_5`` the
+auxiliary inter-group duty fraction) and ``L`` the electrical sum of
+the first five terms.  For a candidate ``(occ_exp, λ=leak_quad)``
+pair the leakage inverts analytically —
+
+.. math::
+
+    L = \\frac{-1 + \\sqrt{1 + 4 (\\lambda/100) P}}{2 \\lambda / 100}
+
+— leaving an ordinary least-squares problem in the five linear
+constants.  The two nonlinear constants are selected by deterministic
+K-fold cross-validation over a candidate grid, scored by held-out
+relative power prediction error.
+
+Timing constants (``cpi``, ``mem_latency_cycles``, …) are taken from
+a *template* calibration of the same architecture generation: they
+are microarchitectural, observable from timing alone, and orthogonal
+to the power fit, which only consumes the measured ``(time, energy)``
+pair and the resource counts the spec determines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.devices.schema import DeviceError, DeviceSchemaError
+from repro.machines.specs import GPUSpec
+from repro.simgpu.calibration import GPUCalibration
+from repro.simgpu.device import GPUDevice
+from repro.simgpu.kernel import max_group_size
+from repro.simgpu.power import aux_decay
+
+__all__ = [
+    "SAMPLES_FORMAT",
+    "FitError",
+    "FitSample",
+    "save_samples",
+    "load_samples",
+    "synthesize_samples",
+    "default_sample_grid",
+    "CandidateScore",
+    "FitResult",
+    "fit_calibration",
+    "DEFAULT_OCC_EXP_GRID",
+    "DEFAULT_LEAK_QUAD_GRID",
+]
+
+#: Version tag of the samples file format.
+SAMPLES_FORMAT = "repro-fit-samples/1"
+
+#: The five linearly-entering power constants, in design-matrix order.
+LINEAR_CONSTANTS = (
+    "e_lane_j",
+    "e_dram_j_per_byte",
+    "p_act0_w",
+    "p_act1_w",
+    "aux_power_w",
+)
+
+#: Candidate grids for the cross-validated nonlinear constants.  Both
+#: shipped parts lie on the grid (K40c: occ_exp 1.0 / leak_quad 0.05;
+#: P100: 3.5 / 0.14), as do plausible neighbours for new parts.
+DEFAULT_OCC_EXP_GRID = (1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+DEFAULT_LEAK_QUAD_GRID = (0.0, 0.02, 0.05, 0.08, 0.14, 0.2)
+
+
+class FitError(DeviceError):
+    """The fitting problem is ill-posed (too few or degenerate samples)."""
+
+
+@dataclass(frozen=True)
+class FitSample:
+    """One profiled measurement of the matmul app at a pinned base clock.
+
+    ``time_s`` and ``dynamic_energy_j`` cover the R kernel launches of
+    the ``(N, BS, G)`` configuration, exactly like
+    :class:`repro.simgpu.device.KernelRunResult`.
+    """
+
+    n: int
+    bs: int
+    g: int
+    r: int
+    time_s: float
+    dynamic_energy_j: float
+
+    @property
+    def power_w(self) -> float:
+        return self.dynamic_energy_j / self.time_s
+
+
+# -- samples file I/O --------------------------------------------------------
+
+def save_samples(
+    path: str | Path,
+    samples: list[FitSample],
+    *,
+    device: str = "",
+) -> None:
+    """Write samples as a ``repro-fit-samples/1`` JSON file."""
+    doc: dict[str, Any] = {
+        "format": SAMPLES_FORMAT,
+        "fixed_clock": True,
+        "samples": [dataclasses.asdict(s) for s in samples],
+    }
+    if device:
+        doc["device"] = device
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+
+
+def load_samples(path: str | Path) -> list[FitSample]:
+    """Read and validate a ``repro-fit-samples/1`` JSON file."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except OSError as exc:
+        raise DeviceSchemaError(f"{path}: unreadable samples file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise DeviceSchemaError(f"{path}: invalid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("format") != SAMPLES_FORMAT:
+        raise DeviceSchemaError(
+            f"{path}: not a {SAMPLES_FORMAT!r} samples file "
+            f"(format={doc.get('format') if isinstance(doc, dict) else None!r})"
+        )
+    raw = doc.get("samples")
+    if not isinstance(raw, list) or not raw:
+        raise DeviceSchemaError(f"{path}: 'samples' must be a non-empty list")
+    samples: list[FitSample] = []
+    for i, row in enumerate(raw):
+        if not isinstance(row, dict):
+            raise DeviceSchemaError(f"{path}: samples[{i}] must be an object")
+        try:
+            sample = FitSample(
+                n=int(row["n"]),
+                bs=int(row["bs"]),
+                g=int(row["g"]),
+                r=int(row["r"]),
+                time_s=float(row["time_s"]),
+                dynamic_energy_j=float(row["dynamic_energy_j"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise DeviceSchemaError(
+                f"{path}: samples[{i}] is malformed: {exc!r}"
+            ) from None
+        if (
+            sample.time_s <= 0
+            or sample.dynamic_energy_j <= 0
+            or not math.isfinite(sample.time_s)
+            or not math.isfinite(sample.dynamic_energy_j)
+        ):
+            raise DeviceSchemaError(
+                f"{path}: samples[{i}] needs positive finite time/energy "
+                f"(got time_s={sample.time_s!r}, "
+                f"dynamic_energy_j={sample.dynamic_energy_j!r})"
+            )
+        samples.append(sample)
+    return samples
+
+
+# -- sample synthesis --------------------------------------------------------
+
+def default_sample_grid(
+    spec: GPUSpec, *, total_products: int = 24
+) -> list[tuple[int, int, int, int]]:
+    """An identifiable ``(n, bs, g, r)`` profiling grid for ``spec``.
+
+    Spans several tile sizes (occupancy variation identifies the
+    activity terms), several matrix sizes (separates lane- from
+    DRAM-dominated power), and group sizes above 1 at matrix sizes
+    below the additivity threshold (the only regime where
+    ``aux_power_w`` is observable).
+    """
+    ns = sorted(
+        {
+            max(1024, spec.additivity_threshold_n // 5),
+            max(2048, spec.additivity_threshold_n // 3),
+            max(4096, spec.additivity_threshold_n // 2),
+        }
+    )
+    grid: list[tuple[int, int, int, int]] = []
+    for n in ns:
+        for bs in (8, 12, 16, 24, 32):
+            for g in (1, 4):
+                if g > max_group_size(spec, bs, 8):
+                    continue
+                grid.append((n, bs, g, total_products // g))
+    return grid
+
+
+def synthesize_samples(
+    spec: GPUSpec,
+    cal: GPUCalibration,
+    grid: list[tuple[int, int, int, int]] | None = None,
+    *,
+    noise: float = 0.0,
+    seed: int = 0,
+) -> list[FitSample]:
+    """Simulate a profiling session: the round-trip test's generator.
+
+    Runs each grid point at the pinned base clock; with ``noise > 0``
+    applies multiplicative Gaussian jitter of that relative sigma to
+    the measured energy (time is left exact — time noise cancels in
+    the power ratio anyway).
+    """
+    device = GPUDevice(spec, cal)
+    rng = np.random.default_rng(seed)
+    samples: list[FitSample] = []
+    for n, bs, g, r in grid if grid is not None else default_sample_grid(spec):
+        result = device.run_matmul(n, bs, g, r, fixed_clock=True)
+        energy = result.dynamic_energy_j
+        if noise > 0.0:
+            energy *= max(0.5, 1.0 + noise * rng.standard_normal())
+        samples.append(
+            FitSample(
+                n=n, bs=bs, g=g, r=r,
+                time_s=result.time_s,
+                dynamic_energy_j=energy,
+            )
+        )
+    return samples
+
+
+# -- fitting -----------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Cross-validation outcome of one ``(occ_exp, leak_quad)`` candidate."""
+
+    occ_exp: float
+    leak_quad: float
+    #: Root-mean-square *relative* power prediction error on held-out
+    #: folds (0.01 = 1%).
+    cv_rel_rmse: float
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of :func:`fit_calibration`."""
+
+    calibration: GPUCalibration
+    #: Every candidate's CV score, best first.
+    candidates: tuple[CandidateScore, ...]
+    #: Relative power RMSE of the selected model refit on all samples.
+    train_rel_rmse: float
+    n_samples: int
+    #: Identifiability caveats (e.g. no aux-identifying samples).
+    notes: tuple[str, ...] = ()
+
+    @property
+    def selected(self) -> CandidateScore:
+        return self.candidates[0]
+
+    def render(self, *, base: GPUCalibration | None = None) -> str:
+        """Human-readable report of the fitted constants."""
+        lines = [
+            f"fitted {self.n_samples} samples; selected occ_exp="
+            f"{self.selected.occ_exp:g}, leak_quad="
+            f"{self.selected.leak_quad:g} "
+            f"(CV rel RMSE {self.selected.cv_rel_rmse:.3e}; "
+            f"train {self.train_rel_rmse:.3e})",
+            "",
+            f"  {'constant':<18} {'fitted':>12}"
+            + (f" {'template':>12}" if base is not None else ""),
+        ]
+        shown = LINEAR_CONSTANTS + ("occ_exp", "leak_quad")
+        for name in shown:
+            value = getattr(self.calibration, name)
+            row = f"  {name:<18} {value:>12.6g}"
+            if base is not None:
+                row += f" {getattr(base, name):>12.6g}"
+            lines.append(row)
+        if len(self.candidates) > 1:
+            runner = self.candidates[1]
+            lines += [
+                "",
+                f"  runner-up: occ_exp={runner.occ_exp:g}, "
+                f"leak_quad={runner.leak_quad:g} "
+                f"(CV rel RMSE {runner.cv_rel_rmse:.3e})",
+            ]
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _invert_leakage(power_w: np.ndarray, leak_quad: float) -> np.ndarray:
+    """Electrical power L from measured dynamic power P = L + λL²/100."""
+    if leak_quad == 0.0:
+        return power_w
+    k = leak_quad / 100.0
+    return (-1.0 + np.sqrt(1.0 + 4.0 * k * power_w)) / (2.0 * k)
+
+
+def _features(
+    spec: GPUSpec, template: GPUCalibration, samples: list[FitSample]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-sample (lane_rate, dram_rate, occupancy, aux_frac) columns.
+
+    Resource counts and phase timings come from the template-calibrated
+    simulator at the pinned base clock — the same quantities a real
+    profiling session reads from hardware counters.
+    """
+    device = GPUDevice(spec, template)
+    lane = np.empty(len(samples))
+    dram = np.empty(len(samples))
+    occ = np.empty(len(samples))
+    aux = np.empty(len(samples))
+    for i, s in enumerate(samples):
+        result = device.run_matmul(s.n, s.bs, s.g, s.r, fixed_clock=True)
+        res = result.resources
+        t_product = result.product_time_s
+        t_launch = result.time_s / s.r
+        lane[i] = res.lanes_issued / (s.g * t_product)
+        dram[i] = res.total_dram_bytes / (s.g * t_product)
+        occ[i] = result.occupancy.warp_occupancy
+        aux[i] = aux_decay(spec, s.n) * (s.g - 1) * t_product / t_launch
+    return lane, dram, occ, aux
+
+
+def _solve_linear(
+    lane: np.ndarray,
+    dram: np.ndarray,
+    occ: np.ndarray,
+    aux: np.ndarray,
+    target: np.ndarray,
+    occ_exp: float,
+) -> np.ndarray:
+    """Least-squares solve of the five linear constants (clamped ≥ 0).
+
+    Columns are normalized to unit scale before the solve — the raw
+    magnitudes span ~14 orders (``e_lane_j`` ~1e-10 against rates
+    ~1e12) and would otherwise swamp the conditioning.
+    """
+    a = np.column_stack(
+        [lane, dram, np.ones_like(occ), occ**occ_exp, aux]
+    )
+    scale = np.linalg.norm(a, axis=0)
+    scale[scale == 0.0] = 1.0
+    coef, *_ = np.linalg.lstsq(a / scale, target, rcond=None)
+    return np.maximum(coef / scale, 0.0)
+
+
+def _predict_power(
+    lane: np.ndarray,
+    dram: np.ndarray,
+    occ: np.ndarray,
+    aux: np.ndarray,
+    coef: np.ndarray,
+    occ_exp: float,
+    leak_quad: float,
+) -> np.ndarray:
+    electrical = (
+        coef[0] * lane
+        + coef[1] * dram
+        + coef[2]
+        + coef[3] * occ**occ_exp
+        + coef[4] * aux
+    )
+    return electrical + leak_quad * electrical**2 / 100.0
+
+
+def fit_calibration(
+    spec: GPUSpec,
+    samples: list[FitSample],
+    *,
+    template: GPUCalibration,
+    occ_exp_grid: tuple[float, ...] = DEFAULT_OCC_EXP_GRID,
+    leak_quad_grid: tuple[float, ...] = DEFAULT_LEAK_QUAD_GRID,
+    folds: int = 5,
+) -> FitResult:
+    """Recover power-model constants from (time, energy) samples.
+
+    Parameters
+    ----------
+    spec:
+        The device being fitted (determines resource counts and
+        occupancy per configuration).
+    samples:
+        Pinned-base-clock measurements; at least
+        ``max(folds, 6)`` of them, spanning several tile and matrix
+        sizes (see :func:`default_sample_grid`).
+    template:
+        Calibration providing the timing-side constants; its power
+        constants are *replaced* by the fit.
+    occ_exp_grid / leak_quad_grid:
+        Candidate values of the two nonlinear constants, selected by
+        deterministic K-fold cross-validation (fold ``i`` =
+        ``samples[i::folds]``) scored on held-out relative power error.
+
+    Raises
+    ------
+    FitError
+        With fewer samples than the problem needs.
+    """
+    minimum = max(folds, len(LINEAR_CONSTANTS) + 1)
+    if len(samples) < minimum:
+        raise FitError(
+            f"need at least {minimum} samples to fit "
+            f"{len(LINEAR_CONSTANTS)} linear constants with {folds}-fold "
+            f"cross-validation (got {len(samples)}); profile more "
+            f"configurations (see default_sample_grid)"
+        )
+    lane, dram, occ, aux = _features(spec, template, samples)
+    power = np.array([s.power_w for s in samples])
+
+    notes: list[str] = []
+    if not np.any(aux > 0.0):
+        notes.append(
+            "no samples with G>1 below the additivity threshold; "
+            "aux_power_w is unidentifiable and kept at the template value"
+        )
+    if np.unique(occ).size < 2:
+        notes.append(
+            "all samples share one occupancy; p_act0_w/p_act1_w are "
+            "collinear — add configurations with different BS"
+        )
+
+    indices = np.arange(len(samples))
+    scored: list[CandidateScore] = []
+    for occ_exp in occ_exp_grid:
+        for leak_quad in leak_quad_grid:
+            target = _invert_leakage(power, leak_quad)
+            sq_sum = 0.0
+            count = 0
+            for fold in range(folds):
+                test = indices % folds == fold
+                train = ~test
+                coef = _solve_linear(
+                    lane[train], dram[train], occ[train], aux[train],
+                    target[train], occ_exp,
+                )
+                pred = _predict_power(
+                    lane[test], dram[test], occ[test], aux[test],
+                    coef, occ_exp, leak_quad,
+                )
+                rel = (pred - power[test]) / power[test]
+                sq_sum += float(np.sum(rel**2))
+                count += int(np.sum(test))
+            scored.append(
+                CandidateScore(
+                    occ_exp=occ_exp,
+                    leak_quad=leak_quad,
+                    cv_rel_rmse=math.sqrt(sq_sum / count),
+                )
+            )
+    # Stable tie-break (noiseless round trips can score several
+    # candidates at ~0): prefer the better CV score, then the simpler
+    # model (smaller leak_quad, then smaller occ_exp).
+    scored.sort(key=lambda c: (c.cv_rel_rmse, c.leak_quad, c.occ_exp))
+    best = scored[0]
+
+    target = _invert_leakage(power, best.leak_quad)
+    coef = _solve_linear(lane, dram, occ, aux, target, best.occ_exp)
+    pred = _predict_power(lane, dram, occ, aux, coef, best.occ_exp, best.leak_quad)
+    rel = (pred - power) / power
+    train_rel_rmse = math.sqrt(float(np.mean(rel**2)))
+
+    fitted: dict[str, float] = dict(zip(LINEAR_CONSTANTS, coef.tolist()))
+    if not np.any(aux > 0.0):
+        fitted["aux_power_w"] = template.aux_power_w
+    calibration = dataclasses.replace(
+        template,
+        occ_exp=best.occ_exp,
+        leak_quad=best.leak_quad,
+        **fitted,
+    )
+    return FitResult(
+        calibration=calibration,
+        candidates=tuple(scored),
+        train_rel_rmse=train_rel_rmse,
+        n_samples=len(samples),
+        notes=tuple(notes),
+    )

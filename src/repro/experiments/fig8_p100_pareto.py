@@ -25,7 +25,11 @@ from typing import TYPE_CHECKING
 from repro.analysis.ep_analysis import WeakEPStudy, weak_ep_study_table
 from repro.analysis.report import format_pct, format_table
 from repro.apps.matmul_gpu import MatmulGPUApp
-from repro.machines.specs import P100
+from repro.machines import get_machine
+
+# Registry-backed name resolution (identity-preserving for the
+# in-code P100, so goldens and shard digests are unchanged).
+P100 = get_machine("p100")
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sweep.engine import SweepEngine

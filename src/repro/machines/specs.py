@@ -216,16 +216,38 @@ MACHINES: dict[str, CPUSpec | GPUSpec] = {
 
 
 def get_machine(name: str) -> CPUSpec | GPUSpec:
-    """Look up a machine spec by short name (``haswell``/``k40c``/``p100``).
+    """Look up a machine spec by short name (``haswell``/``k40c``/``p100``)
+    or by any name registered with the device registry.
+
+    The in-code constants resolve first (identity-preserving: callers
+    compare ``get_machine("p100") is P100``); anything else falls
+    through to :func:`repro.devices.registry.default_registry`, which
+    is how data-file devices (``$REPRO_DEVICE_DIR``) become first-class
+    sweep targets without a code change.
 
     Raises
     ------
     KeyError
-        If the name is unknown; the message lists valid names.
+        If the name is unknown to both sources; the message lists
+        every available device.
     """
+    spec = MACHINES.get(name.lower())
+    if spec is not None:
+        return spec
+    # Lazy import: repro.devices depends on this module at load time.
+    from repro.devices.registry import default_registry
+    from repro.devices.schema import DeviceError
+
     try:
-        return MACHINES[name.lower()]
-    except KeyError:
+        entry = default_registry().find(name)
+    except DeviceError as exc:
         raise KeyError(
-            f"unknown machine {name!r}; expected one of {sorted(MACHINES)}"
+            f"unknown machine {name!r} and the device registry failed to "
+            f"load: {exc}"
         ) from None
+    if entry is not None:
+        return entry.spec
+    raise KeyError(
+        f"unknown machine {name!r}; registered devices: "
+        f"{default_registry().describe()}"
+    ) from None

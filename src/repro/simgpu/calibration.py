@@ -158,14 +158,42 @@ P100_CAL = GPUCalibration(
     time_jitter=0.005,
 )
 
-_BY_SPEC = {id(K40C): K40C_CAL, id(P100): P100_CAL}
+#: Keyed by spec *name*, not ``id(spec)``: an equal-but-distinct
+#: GPUSpec (pickled across process-pool workers, copied, or loaded
+#: from a registry file) must resolve to the same calibration.
+_BY_NAME = {K40C.name: K40C_CAL, P100.name: P100_CAL}
 
 
 def calibration_for(spec: GPUSpec) -> GPUCalibration:
-    """Default calibration for a known spec (K40c or P100)."""
+    """Default calibration for a known spec (built-in or registered).
+
+    Resolution is by value, not identity: the in-code K40c/P100
+    constants first, then the device registry
+    (:func:`repro.devices.registry.default_registry`), in both cases
+    checking that the looked-up spec equals ``spec`` field-for-field —
+    a registered *name* with divergent constants must not silently pair
+    with the registered calibration.
+
+    Raises
+    ------
+    KeyError
+        If no registered device matches; the message lists the
+        registry's entries.
+    """
+    builtin = _BY_NAME.get(spec.name)
+    if builtin is not None:
+        return builtin
+    # Lazy import: repro.devices imports this module at load time.
+    from repro.devices.registry import default_registry
+    from repro.devices.schema import DeviceError
+
     try:
-        return _BY_SPEC[id(spec)]
-    except KeyError:
-        raise KeyError(
-            f"no default calibration for {spec.name!r}; pass one explicitly"
-        ) from None
+        entry = default_registry().find(spec.name)
+    except DeviceError:
+        entry = None
+    if entry is not None and entry.calibration is not None and entry.spec == spec:
+        return entry.calibration
+    raise KeyError(
+        f"no default calibration for {spec.name!r}; pass one explicitly "
+        f"or register the device (see repro.devices)"
+    )

@@ -351,6 +351,8 @@ class ColumnarStore:
         obs.count("store.shard.mmap_opens")
         shard = _Shard(block=block, mapped=True)
         reason = self._shard_rejection(key, meta, shard)
+        if reason == "unknown-device":
+            self._raise_unknown_device(path, meta)
         if reason is not None:
             self._recompute_fallback(path, reason)
             return _EMPTY
@@ -378,6 +380,8 @@ class ColumnarStore:
         reason = self._shard_rejection(
             key, meta, shard, expected_format=LEGACY_SHARD_FORMAT
         )
+        if reason == "unknown-device":
+            self._raise_unknown_device(path, meta)
         if reason is not None:
             self._recompute_fallback(path, reason)
             return _EMPTY
@@ -388,6 +392,45 @@ class ColumnarStore:
             return _EMPTY
         shard.values_checked = True
         return shard
+
+    @staticmethod
+    def _device_known(name: Any) -> bool:
+        """Whether a sidecar's device name resolves against the registry.
+
+        A registry that itself fails to load counts as "known": a
+        broken ``$REPRO_DEVICE_DIR`` must degrade to the quiet stale
+        path, not turn every mismatched shard into a hard error.
+        """
+        if not isinstance(name, str) or not name:
+            return False
+        from repro.devices.registry import default_registry
+        from repro.devices.schema import DeviceError
+        from repro.machines.specs import MACHINES
+
+        if any(spec.name == name for spec in MACHINES.values()):
+            return True
+        try:
+            return default_registry().find(name) is not None
+        except DeviceError:
+            return True
+
+    def _raise_unknown_device(self, path: Path, meta: dict[str, Any]) -> None:
+        """Refuse to serve a shard written for an unregistered device."""
+        from repro.devices.registry import default_registry
+        from repro.devices.schema import UnknownDeviceError
+
+        obs.count("store.shard.unknown_device")
+        try:
+            available = default_registry().describe()
+        except Exception:  # registry broken: still name the shard
+            available = "(registry unavailable)"
+        raise UnknownDeviceError(
+            f"sweep store shard {path.name} was written for device "
+            f"{meta.get('device')!r}, which is not in the device "
+            f"registry (registered devices: {available}); restore its "
+            f"repro-device/1 file to $REPRO_DEVICE_DIR, or delete the "
+            f"shard if the device is gone for good"
+        )
 
     @staticmethod
     def _values_sound(time_s: np.ndarray, energy_j: np.ndarray) -> bool:
@@ -411,13 +454,19 @@ class ColumnarStore:
         ``"stale"`` — the file is readable and well-formed but its
         identity metadata does not match the address (renamed/copied
         file, or a shard written by a different model version: its
-        digest differs, so stale results never leak).  ``"corrupt"`` —
-        anything structurally broken: wrong format tag, wrong block
-        shape, a sidecar row count disagreeing with the array (torn
-        pair), unsorted keys.  Deliberately *not* checked here for
-        mapped shards: objective-value soundness — that would fault in
-        every page, defeating the mmap; served rows are checked at
-        copy-out time instead.
+        digest differs, so stale results never leak).
+        ``"unknown-device"`` — identity mismatch *and* the sidecar
+        names a device no longer known to the device registry: the
+        shard is probably fine and the *environment* is wrong (a
+        ``$REPRO_DEVICE_DIR`` file was removed or renamed), so silent
+        recomputation would both fail later and hide the real problem
+        — the readers raise instead.  ``"corrupt"`` — anything
+        structurally broken: wrong format tag, wrong block shape, a
+        sidecar row count disagreeing with the array (torn pair),
+        unsorted keys.  Deliberately *not* checked here for mapped
+        shards: objective-value soundness — that would fault in every
+        page, defeating the mmap; served rows are checked at copy-out
+        time instead.
         """
         if not isinstance(meta, dict):
             return "corrupt"
@@ -430,6 +479,8 @@ class ColumnarStore:
             or meta.get("device") != key.device
             or meta.get("n") != key.n
         ):
+            if not ColumnarStore._device_known(meta.get("device")):
+                return "unknown-device"
             return "stale"
         block = shard.block
         if block.ndim != 2 or block.shape[0] != 6 or block.dtype != np.int64:

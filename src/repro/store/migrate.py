@@ -61,12 +61,30 @@ class MigrationReport:
 
 
 def _gpu_registry() -> dict[str, GPUSpec]:
-    """Registry GPUs by their full spec name (what cache records carry)."""
-    return {
+    """Claimable GPUs by full spec name (what cache records carry).
+
+    The union of the in-code machines and the device registry, so
+    points cached for a data-file device (``$REPRO_DEVICE_DIR``) are
+    claimable too.  A registry that fails to load degrades to the
+    in-code set — migration must keep working while the user repairs a
+    broken device file.
+    """
+    from repro.devices.registry import default_registry
+    from repro.devices.schema import DeviceError
+
+    by_name = {
         spec.name: spec
         for spec in MACHINES.values()
         if isinstance(spec, GPUSpec)
     }
+    try:
+        entries = default_registry().entries()
+    except DeviceError:
+        entries = ()
+    for entry in entries:
+        if isinstance(entry.spec, GPUSpec):
+            by_name.setdefault(entry.spec.name, entry.spec)
+    return by_name
 
 
 def migrate_json_cache(

@@ -789,8 +789,10 @@ def format_results(doc: dict) -> str:
 
 def add_bench_flags(parser: argparse.ArgumentParser) -> None:
     """Register the ``repro bench`` flags on ``parser``."""
+    from repro.devices.registry import gpu_device_choices
+
     parser.add_argument(
-        "--device", choices=("k40c", "p100"), default="p100"
+        "--device", choices=gpu_device_choices(), default="p100"
     )
     parser.add_argument(
         "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES),

@@ -273,6 +273,97 @@ class TestColumnarStore:
         assert len(store) == 0
 
 
+class TestUnknownDeviceShards:
+    """Mismatched shards: unregistered device → error, known → stale."""
+
+    @staticmethod
+    def _ghost_key(n=4096):
+        ghost = dataclasses.replace(P100, name="Ghost GPU 9000")
+        return shard_key(ghost, P100_CAL, n)
+
+    def test_unregistered_device_raises_not_recomputes(self, tmp_path):
+        """A shard for a vanished device must fail loudly, not silently."""
+        from repro.devices.schema import UnknownDeviceError
+
+        store = ColumnarStore(tmp_path)
+        ghost_key = self._ghost_key()
+        bs, g, r, t, e = _rows()
+        store.append(ghost_key, bs, g, r, t, e)
+        # Identity mismatch (the real-world shape: a model-version bump
+        # or moved file) while the sidecar names an unregistered device.
+        target = _p100_key()
+        shutil.copy(store.shard_path(ghost_key), store.shard_path(target))
+        shutil.copy(store.meta_path(ghost_key), store.meta_path(target))
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        with pytest.raises(UnknownDeviceError) as err:
+            fresh.lookup(target, packed)
+        message = str(err.value)
+        assert "Ghost GPU 9000" in message
+        assert "k40c" in message and "p100" in message  # registry listing
+        assert "$REPRO_DEVICE_DIR" in message
+
+    def test_registered_device_stays_on_quiet_stale_path(self, tmp_path):
+        """Same mismatch with a *known* device name: warn and recompute."""
+        store = ColumnarStore(tmp_path)
+        key = _p100_key()
+        other = _p100_key(n=8192)
+        bs, g, r, t, e = _rows()
+        store.append(key, bs, g, r, t, e)
+        shutil.copy(store.shard_path(key), store.shard_path(other))
+        shutil.copy(store.meta_path(key), store.meta_path(other))
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        with pytest.warns(StoreIntegrityWarning, match="stale"):
+            _, _, hit = fresh.lookup(other, packed)
+        assert not hit.any()
+        assert fresh.stale_shards == 1
+
+    def test_restoring_device_file_downgrades_error_to_stale(
+        self, tmp_path, monkeypatch
+    ):
+        """The error's own advice must work: re-register → stale path."""
+        from repro.devices.registry import refresh_default_registry
+        from repro.devices.schema import UnknownDeviceError, dump_device_json
+
+        store_dir = tmp_path / "store"
+        store = ColumnarStore(store_dir)
+        ghost_key = self._ghost_key()
+        bs, g, r, t, e = _rows()
+        store.append(ghost_key, bs, g, r, t, e)
+        target = _p100_key()
+        shutil.copy(store.shard_path(ghost_key), store.shard_path(target))
+        shutil.copy(store.meta_path(ghost_key), store.meta_path(target))
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+
+        with pytest.raises(UnknownDeviceError):
+            ColumnarStore(store_dir).lookup(target, packed)
+
+        dev_dir = tmp_path / "devices"
+        dev_dir.mkdir()
+        ghost = dataclasses.replace(P100, name="Ghost GPU 9000")
+        dump_device_json(dev_dir / "ghost.json", "ghost", ghost, P100_CAL)
+        monkeypatch.setenv("REPRO_DEVICE_DIR", str(dev_dir))
+        refresh_default_registry()
+        try:
+            with pytest.warns(StoreIntegrityWarning, match="stale"):
+                _, _, hit = ColumnarStore(store_dir).lookup(target, packed)
+            assert not hit.any()
+        finally:
+            refresh_default_registry()
+
+    def test_matching_shard_never_consults_the_registry(self, tmp_path):
+        """A sound shard for an unregistered device still serves."""
+        store = ColumnarStore(tmp_path)
+        ghost_key = self._ghost_key()
+        bs, g, r, t, e = _rows()
+        store.append(ghost_key, bs, g, r, t, e)
+        fresh = ColumnarStore(tmp_path)
+        packed = (bs.astype(np.int64) << 42) | (g.astype(np.int64) << 21) | r
+        _, _, hit = fresh.lookup(ghost_key, packed)
+        assert hit.all()
+
+
 class TestShardFormatV2:
     """The mmap fast path: lazy opens, copy-on-serve, legacy upgrade."""
 

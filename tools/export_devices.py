@@ -1,0 +1,70 @@
+"""Regenerate the bundled ``repro-device/1`` definitions.
+
+Writes ``src/repro/devices/data/{k40c,p100,haswell}.json`` from the
+in-code constants in ``repro.machines.specs`` and
+``repro.simgpu.calibration``, then checks the round trip is
+bit-identical (``repro devices validate --all`` enforces the same
+invariant in CI).
+
+Run after changing any spec/calibration constant:
+
+    PYTHONPATH=src python tools/export_devices.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.devices.registry import bundled_dir, refresh_default_registry, validate_bundled
+from repro.devices.schema import dump_device_json
+from repro.machines.specs import HASWELL, K40C, P100
+from repro.simgpu.calibration import K40C_CAL, P100_CAL
+
+
+DEVICES = [
+    (
+        "k40c",
+        K40C,
+        K40C_CAL,
+        "Nvidia K40c (Kepler GK110B): 15 SMX x 192 cores @ 745 MHz, "
+        "12 GB GDDR5, no autoboost (Table I).",
+    ),
+    (
+        "p100",
+        P100,
+        P100_CAL,
+        "Nvidia P100 PCIe (Pascal GP100): 56 SM x 64 cores @ 1328 MHz, "
+        "12 GB HBM2, autoboost to 1480 MHz under a 250 W cap (Table I).",
+    ),
+    (
+        "haswell",
+        HASWELL,
+        None,
+        "Dual-socket Intel Haswell E5-2670 v3: 2 x 12 cores, SMT2, "
+        "64 GB DDR4 (Table I).",
+    ),
+]
+
+
+def main() -> int:
+    out = bundled_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    for key, spec, cal, description in DEVICES:
+        path = out / f"{key}.json"
+        dump_device_json(path, key, spec, cal, description=description)
+        print(f"wrote {path}")
+    refresh_default_registry()
+    problems = validate_bundled()
+    if problems:
+        for problem in problems:
+            print(f"PARITY FAILURE: {problem}", file=sys.stderr)
+        return 1
+    print("bundled files reproduce the in-code constants bit-for-bit")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
