@@ -30,6 +30,13 @@ custom workload, without writing code:
 * ``trace`` — render a telemetry JSONL file (written by
   ``--telemetry jsonl:PATH``) as a span tree with self-time, metrics
   and the run-provenance manifest (see :mod:`repro.obs`);
+* ``perf`` — the performance observatory (``docs/MODEL.md`` §6.6):
+  ``perf report`` (per-span-name self/total profile + critical path
+  of a telemetry stream), ``perf diff A B`` (self-time deltas between
+  two streams), ``perf flamegraph`` (Brendan-Gregg folded stacks),
+  and ``perf check`` (Mann-Whitney regression sentinel comparing a
+  bench run's samples against the matched-host history baseline,
+  nonzero exit on confirmed regressions);
 * ``report`` — run everything and write a single markdown report.
 
 The sweep-driven commands (``experiment``, ``sweep``) accept
@@ -94,12 +101,15 @@ def positive_int(text: str) -> int:
 
 def _add_telemetry_flag(p: argparse.ArgumentParser) -> None:
     p.add_argument(
-        "--telemetry", default="off", metavar="off|summary|jsonl:PATH",
+        "--telemetry", default="off",
+        metavar="off|summary|jsonl:PATH|prom:PATH",
         help=(
             "telemetry sink: 'off' (default; output byte-identical to "
             "an uninstrumented run), 'summary' (append a span/metric "
-            "digest), or 'jsonl:PATH' (write the event stream for "
-            "`repro trace`)"
+            "digest), 'jsonl:PATH' (write the event stream for "
+            "`repro trace` / `repro perf`), or 'prom:PATH' (write the "
+            "metrics snapshot in Prometheus textfile format for a "
+            "node-exporter textfile collector)"
         ),
     )
 
@@ -227,6 +237,91 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     trace.add_argument("file", help="telemetry JSONL file to render")
+
+    from repro.obs.history import DEFAULT_HISTORY_PATH
+
+    perf = sub.add_parser(
+        "perf",
+        help=(
+            "performance observatory: span profiles, flamegraphs and "
+            "the bench-history regression sentinel"
+        ),
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    perf_report = perf_sub.add_parser(
+        "report",
+        help=(
+            "per-span-name self/total-time profile and call-tree "
+            "critical path of one telemetry stream"
+        ),
+    )
+    perf_report.add_argument("file", help="telemetry JSONL file")
+
+    perf_diff = perf_sub.add_parser(
+        "diff",
+        help=(
+            "per-span-name self-time deltas between two telemetry "
+            "streams, sorted by the size of the shift"
+        ),
+    )
+    perf_diff.add_argument("file_a", help="baseline telemetry JSONL")
+    perf_diff.add_argument("file_b", help="comparison telemetry JSONL")
+
+    perf_flame = perf_sub.add_parser(
+        "flamegraph",
+        help=(
+            "export a telemetry stream as Brendan-Gregg folded stacks "
+            "(`name;child;... self_ns`, flamegraph.pl input)"
+        ),
+    )
+    perf_flame.add_argument("file", help="telemetry JSONL file")
+    perf_flame.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the folded stacks here instead of stdout",
+    )
+
+    perf_check = perf_sub.add_parser(
+        "check",
+        help=(
+            "compare a bench run's wall samples against the "
+            "matched-host history baseline (Mann-Whitney U + median "
+            "shift); exits nonzero on confirmed regressions"
+        ),
+    )
+    perf_check.add_argument(
+        "--bench", default="BENCH_sweep.json", metavar="FILE",
+        help="bench document to check (default: BENCH_sweep.json)",
+    )
+    perf_check.add_argument(
+        "--history", default=str(DEFAULT_HISTORY_PATH), metavar="FILE",
+        help=(
+            "repro-bench-history/1 JSONL baseline "
+            "(default: benchmarks/history/bench_history.jsonl)"
+        ),
+    )
+    perf_check.add_argument(
+        "--min-samples", type=positive_int, default=3, metavar="N",
+        help=(
+            "minimum pooled baseline samples per case before the "
+            "sentinel will judge it (fewer: 'insufficient-history')"
+        ),
+    )
+    perf_check.add_argument(
+        "--alpha", type=float, default=0.05,
+        help="Mann-Whitney significance level (default 0.05)",
+    )
+    perf_check.add_argument(
+        "--min-shift", type=float, default=0.10, metavar="FRAC",
+        help=(
+            "minimum median shift to call a confirmed change "
+            "(default 0.10 = 10%%)"
+        ),
+    )
+    perf_check.add_argument(
+        "--report-only", action="store_true",
+        help="print verdicts but always exit 0 (PR-lane mode)",
+    )
 
     sub.add_parser("machines", help="list the platform registry")
 
@@ -832,6 +927,105 @@ def _provenance_for(args: argparse.Namespace) -> dict:
     return run_manifest(args.command, backend=backend)
 
 
+def _load_perf_run(path: str) -> list:
+    """One telemetry run for the perf analytics, with CLI-grade errors.
+
+    Multi-run streams analyze the *last* run (the most recent append)
+    with a warning — profiling two merged runs as one would
+    double-count every aggregate.
+    """
+    from pathlib import Path
+
+    from repro.obs.ingest import TelemetryStreamError, load_stream
+
+    target = Path(path)
+    if not target.is_file():
+        raise SystemExit(f"repro perf: no such file: {target}")
+    try:
+        stream = load_stream(target)
+    except TelemetryStreamError as exc:
+        raise SystemExit(f"repro perf: {exc}") from None
+    for warning in stream.warnings:
+        print(f"repro perf: warning: {warning}", file=sys.stderr)
+    if len(stream.runs) > 1:
+        print(
+            f"repro perf: warning: {target} holds "
+            f"{len(stream.runs)} concatenated runs; analyzing the last",
+            file=sys.stderr,
+        )
+    return stream.runs[-1]
+
+
+def _run_perf_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.history import load_history
+    from repro.obs.sentinel import check_bench
+
+    bench_path = Path(args.bench)
+    if not bench_path.is_file():
+        raise SystemExit(
+            f"repro perf check: no bench document at {bench_path} "
+            f"(run `repro bench` first or pass --bench)"
+        )
+    try:
+        doc = json.loads(bench_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"repro perf check: {bench_path}: not a JSON document ({exc})"
+        ) from None
+    try:
+        history = load_history(args.history)
+    except ValueError as exc:
+        raise SystemExit(f"repro perf check: {exc}") from None
+    report = check_bench(
+        doc,
+        history,
+        alpha=args.alpha,
+        min_shift=args.min_shift,
+        min_samples=args.min_samples,
+    )
+    print(report.render())
+    if report.exit_code and args.report_only:
+        print(
+            "report-only mode: regressions reported above, exit 0",
+            file=sys.stderr,
+        )
+        return 0
+    return report.exit_code
+
+
+def _run_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import perf as perf_mod
+
+    if args.perf_command == "report":
+        print(perf_mod.render_report(_load_perf_run(args.file)))
+    elif args.perf_command == "diff":
+        print(
+            perf_mod.render_diff(
+                _load_perf_run(args.file_a),
+                _load_perf_run(args.file_b),
+                label_a=args.file_a,
+                label_b=args.file_b,
+            )
+        )
+    elif args.perf_command == "flamegraph":
+        folded = perf_mod.render_folded(_load_perf_run(args.file))
+        if args.output is not None:
+            Path(args.output).write_text(folded + "\n")
+            print(f"wrote {args.output}")
+        else:
+            print(folded)
+    elif args.perf_command == "check":
+        return _run_perf_check(args)
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.perf_command)
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiment":
         print(_run_experiment(args.id, engine=_build_engine(args)))
@@ -872,6 +1066,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.obs.trace import main as trace_main
 
         print(trace_main(args.file))
+    elif args.command == "perf":
+        return _run_perf(args)
     elif args.command == "bench":
         from repro.sweep.bench import run_from_args
 

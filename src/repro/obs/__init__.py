@@ -10,6 +10,15 @@ metric namespace and the manifest schema):
 * a **run-provenance manifest** (:func:`repro.obs.provenance.run_manifest`)
   attached to every experiment output.
 
+On top of those, the **performance observatory** (``docs/MODEL.md``
+§6.6): tolerant event-stream ingestion (:mod:`repro.obs.ingest`),
+span-profile analytics — self/total aggregates, critical path,
+folded-stack flamegraphs (:mod:`repro.obs.perf`) — the append-only
+bench history store (:mod:`repro.obs.history`) and the Mann-Whitney
+regression sentinel (:mod:`repro.obs.sentinel`) behind the ``repro
+perf`` CLI family, plus a Prometheus textfile exporter
+(:mod:`repro.obs.openmetrics`, ``--telemetry prom:PATH``).
+
 Off by default: the module-level helpers are no-ops until the CLI (or
 a test) installs an enabled :class:`Telemetry` via :func:`configure`.
 """

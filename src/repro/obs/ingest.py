@@ -1,0 +1,138 @@
+"""Tolerant ``repro-telemetry/1`` JSONL ingestion.
+
+Every consumer of a telemetry event stream (``repro trace``, the
+``repro perf`` analytics family) goes through this module instead of
+parsing lines ad hoc, so the failure modes real streams exhibit are
+handled once, identically, everywhere:
+
+* **empty file** — a clear :class:`TelemetryStreamError` naming the
+  path, never an opaque downstream ``IndexError``;
+* **truncated final line** — a run that was killed mid-write leaves a
+  partial JSON object on the last line; the reader drops it and
+  records a warning instead of raising ``json.JSONDecodeError`` (the
+  rest of the stream is still perfectly analyzable);
+* **garbage in the middle** — a non-final unparsable line *is* an
+  error (the stream's integrity is gone), reported as
+  ``path:lineno: message``;
+* **concatenated runs** — appending several runs to one file is
+  legitimate (``>>`` redirection, log rotation misfires); each
+  ``header`` event starts a new run, and :func:`load_runs` returns
+  them split, in order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "TelemetryStreamError",
+    "TelemetryStream",
+    "load_stream",
+    "load_runs",
+    "load_single_run",
+]
+
+
+class TelemetryStreamError(ValueError):
+    """A telemetry stream that cannot be analyzed, with file context."""
+
+
+@dataclass
+class TelemetryStream:
+    """One parsed telemetry file: runs (split at headers) + warnings."""
+
+    path: Path
+    #: One event list per run; a run starts at each ``header`` event
+    #: (events before the first header form a headerless run 0).
+    runs: list[list[dict[str, Any]]] = field(default_factory=list)
+    #: Non-fatal anomalies (truncated final line, headerless prefix).
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        """All events across all runs, in file order."""
+        return [e for run in self.runs for e in run]
+
+
+def load_stream(path: str | Path) -> TelemetryStream:
+    """Parse a telemetry JSONL file tolerantly (see module docstring).
+
+    Raises :class:`TelemetryStreamError` for an empty/missing file or
+    for garbage on a non-final line; a truncated final line is dropped
+    with a warning.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text()
+    except OSError as exc:
+        raise TelemetryStreamError(f"{target}: {exc}") from None
+    lines = text.splitlines()
+    stream = TelemetryStream(path=target)
+    parsed: list[tuple[int, dict[str, Any]]] = []
+    last_nonempty = max(
+        (i for i, line in enumerate(lines, 1) if line.strip()), default=0
+    )
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            # A partial *final* line after valid events is a run that
+            # was killed mid-write — tolerable.  Garbage anywhere
+            # else (including a stream that never parsed at all) is
+            # not.
+            if lineno == last_nonempty and parsed:
+                stream.warnings.append(
+                    f"{target}:{lineno}: dropped truncated final line "
+                    f"({exc.msg})"
+                )
+                continue
+            raise TelemetryStreamError(
+                f"{target}:{lineno}: not a JSON event line ({exc})"
+            ) from None
+        if not isinstance(event, dict) or "event" not in event:
+            raise TelemetryStreamError(
+                f"{target}:{lineno}: not a telemetry event"
+            )
+        parsed.append((lineno, event))
+    if not parsed:
+        raise TelemetryStreamError(f"{target}: empty telemetry stream")
+
+    current: list[dict[str, Any]] = []
+    for lineno, event in parsed:
+        if event["event"] == "header" and current:
+            stream.runs.append(current)
+            current = []
+        current.append(event)
+    stream.runs.append(current)
+    if stream.runs and stream.runs[0][0].get("event") != "header":
+        stream.warnings.append(
+            f"{target}: stream does not start with a header event"
+        )
+    return stream
+
+
+def load_runs(path: str | Path) -> list[list[dict[str, Any]]]:
+    """The runs of a telemetry file, split at ``header`` events."""
+    return load_stream(path).runs
+
+
+def load_single_run(path: str | Path) -> list[dict[str, Any]]:
+    """The events of a file that must contain exactly one run.
+
+    Concatenated streams are a usage error here — the caller wants one
+    run's analytics, and silently merging two would double-count.
+    """
+    stream = load_stream(path)
+    if len(stream.runs) != 1:
+        raise TelemetryStreamError(
+            f"{stream.path}: {len(stream.runs)} concatenated runs in one "
+            f"stream; analyze one run at a time (split at each 'header' "
+            f"line)"
+        )
+    return stream.runs[0]

@@ -1,0 +1,95 @@
+"""Prometheus textfile exporter for the metrics registry.
+
+``--telemetry prom:PATH`` writes the run's final metrics snapshot in
+the Prometheus text exposition format at command exit, so a
+node-exporter *textfile collector* can scrape sweep runs: counters
+become ``repro_<name>_total`` counters, gauges become gauges, and
+histogram summaries expand to ``_count`` / ``_sum`` plus ``_min`` /
+``_max`` gauges (the bounded summary the registry keeps — no buckets
+are invented).  Metric names are sanitized to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``; the registry's dotted names map ``.``
+to ``_``), every family gets its ``# TYPE`` line, and the run's
+provenance lands in a ``repro_run_info`` gauge whose label values are
+escaped per the exposition format (backslash, quote, newline).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = [
+    "metric_name",
+    "escape_label_value",
+    "render_openmetrics",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_BAD = re.compile(r"^[^a-zA-Z_:]")
+
+
+def metric_name(name: str, *, prefix: str = "repro_") -> str:
+    """Map a registry name to a legal Prometheus metric name."""
+    cleaned = _NAME_OK.sub("_", name)
+    if _LEADING_BAD.match(cleaned):
+        cleaned = "_" + cleaned
+    return prefix + cleaned
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _fmt(value: float) -> str:
+    """Numbers without float noise: ints stay ints."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def render_openmetrics(
+    snapshot: dict[str, Any],
+    *,
+    manifest: dict[str, Any] | None = None,
+) -> str:
+    """The metrics snapshot as Prometheus textfile content.
+
+    ``snapshot`` is :meth:`repro.obs.Telemetry.snapshot` output
+    (``counters`` / ``gauges`` / ``histograms``); ``manifest`` the
+    optional provenance dict feeding ``repro_run_info`` labels.
+    """
+    lines: list[str] = []
+    if manifest is not None:
+        labels = ",".join(
+            f'{key}="{escape_label_value(manifest[key])}"'
+            for key in ("command", "git_sha", "model_version", "backend")
+            if manifest.get(key) is not None
+        )
+        lines.append(
+            "# HELP repro_run_info Provenance of the run that wrote "
+            "this file."
+        )
+        lines.append("# TYPE repro_run_info gauge")
+        lines.append(f"repro_run_info{{{labels}}} 1")
+    for name, value in sorted((snapshot.get("counters") or {}).items()):
+        metric = metric_name(name) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, value in sorted((snapshot.get("gauges") or {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+    for name, hist in sorted((snapshot.get("histograms") or {}).items()):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f"{metric}_count {_fmt(hist.get('count', 0))}")
+        lines.append(f"{metric}_sum {_fmt(hist.get('total', 0.0))}")
+        for stat in ("min", "max"):
+            lines.append(f"# TYPE {metric}_{stat} gauge")
+            lines.append(f"{metric}_{stat} {_fmt(hist.get(stat, 0.0))}")
+    return "\n".join(lines) + "\n"

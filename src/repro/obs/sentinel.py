@@ -1,0 +1,332 @@
+"""Statistical regression sentinel over the bench history store.
+
+``repro perf check`` compares the current bench run's repeated wall
+samples against the matched-host baseline pooled from
+:mod:`repro.obs.history`, one case at a time, and only calls
+something a regression when **both** of two independent bars are
+cleared:
+
+* **significance** — a two-sided Mann-Whitney U test (exact
+  distribution for small tie-free samples, normal approximation with
+  tie correction otherwise) rejects "same distribution" at ``alpha``;
+  rank-based, so one garbage-collection outlier cannot manufacture or
+  mask a result the way a t-test's mean would;
+* **effect size** — the median shift exceeds ``min_shift`` (default
+  10%); a statistically detectable 0.3% drift is not worth failing a
+  build over.
+
+Everything that would otherwise be false confidence is an explicit
+outcome instead: ``insufficient-history`` (fewer than ``min_samples``
+baseline samples for the case), ``host-mismatch`` (history exists but
+none of it was recorded on a comparable host), ``no-history``.  The
+sentinel never compares timings across host fingerprints.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.obs.history import (
+    case_samples,
+    fingerprints_match,
+    host_fingerprint,
+)
+
+__all__ = [
+    "mann_whitney_u",
+    "CaseVerdict",
+    "CheckReport",
+    "check_bench",
+]
+
+#: Outcome vocabulary, in severity order.
+OUTCOMES = (
+    "regression",
+    "improvement",
+    "neutral",
+    "insufficient-history",
+    "host-mismatch",
+    "no-history",
+)
+
+
+def _ranks(values: Sequence[float]) -> list[float]:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    i = 0
+    while i < len(order):
+        j = i
+        while (
+            j + 1 < len(order)
+            and values[order[j + 1]] == values[order[i]]
+        ):
+            j += 1
+        mean_rank = (i + j) / 2 + 1
+        for k in range(i, j + 1):
+            ranks[order[k]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+@functools.lru_cache(maxsize=None)
+def _u_counts(n: int, m: int) -> tuple[int, ...]:
+    """Null distribution of U: counts[u] arrangements with U == u.
+
+    The Mann-Whitney counting recurrence
+    ``N(u; n, m) = N(u - m; n - 1, m) + N(u; n, m - 1)``: the largest
+    observation is either an x (contributing m pairs) or a y.
+    """
+    if n == 0 or m == 0:
+        return (1,)
+    left = _u_counts(n - 1, m)
+    right = _u_counts(n, m - 1)
+    return tuple(
+        (left[u - m] if 0 <= u - m < len(left) else 0)
+        + (right[u] if u < len(right) else 0)
+        for u in range(n * m + 1)
+    )
+
+
+def _exact_p(u: float, n: int, m: int) -> float:
+    """Two-sided exact ``P(U <= u) * 2`` for tie-free samples.
+
+    Feasible for the sample counts a bench history realistically
+    holds (``n*m <= 400``); ``u`` is the smaller one-sided statistic.
+    """
+    counts = _u_counts(n, m)
+    total = math.comb(n + m, n)
+    cdf = sum(counts[: int(math.floor(u)) + 1]) / total
+    return min(1.0, 2.0 * cdf)
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U, p_value)``.
+
+    ``U`` is the smaller of the two one-sided statistics.  Tie-free
+    samples with ``n*m <= 400`` get the exact null distribution;
+    larger or tied samples get the normal approximation with tie
+    correction and continuity correction.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    combined = list(a) + list(b)
+    ranks = _ranks(combined)
+    r_a = sum(ranks[:n])
+    u_a = r_a - n * (n + 1) / 2
+    u_b = n * m - u_a
+    u = min(u_a, u_b)
+
+    has_ties = len(set(combined)) != len(combined)
+    if not has_ties and n * m <= 400:
+        return u, _exact_p(u, n, m)
+
+    mean = n * m / 2
+    nm = n + m
+    tie_term = 0.0
+    seen: dict[float, int] = {}
+    for v in combined:
+        seen[v] = seen.get(v, 0) + 1
+    for count in seen.values():
+        tie_term += count**3 - count
+    var = (n * m / 12) * ((nm + 1) - tie_term / (nm * (nm - 1)))
+    if var <= 0:  # every observation identical
+        return u, 1.0
+    z = (u - mean + 0.5) / math.sqrt(var)
+    p = math.erfc(abs(z) / math.sqrt(2))
+    return u, min(1.0, p)
+
+
+def _median(values: Sequence[float]) -> float:
+    s = sorted(values)
+    mid = len(s) // 2
+    return s[mid] if len(s) % 2 else (s[mid - 1] + s[mid]) / 2
+
+
+@dataclass(frozen=True)
+class CaseVerdict:
+    """One case's comparison against its matched-host baseline."""
+
+    case: str
+    outcome: str
+    current_n: int = 0
+    baseline_n: int = 0
+    baseline_runs: int = 0
+    median_current: float | None = None
+    median_baseline: float | None = None
+    shift: float | None = None
+    p_value: float | None = None
+
+
+@dataclass
+class CheckReport:
+    """``repro perf check``'s full result."""
+
+    verdicts: list[CaseVerdict] = field(default_factory=list)
+    fingerprint: dict[str, Any] = field(default_factory=dict)
+    history_runs: int = 0
+    matched_runs: int = 0
+    alpha: float = 0.05
+    min_shift: float = 0.10
+    min_samples: int = 3
+
+    @property
+    def regressions(self) -> list[CaseVerdict]:
+        return [v for v in self.verdicts if v.outcome == "regression"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions else 0
+
+    def render(self) -> str:
+        lines = [
+            f"perf check: {len(self.verdicts)} case(s) vs "
+            f"{self.matched_runs}/{self.history_runs} matched-host "
+            f"history run(s) "
+            f"(alpha={self.alpha:g}, min shift={self.min_shift:.0%}, "
+            f"min samples={self.min_samples})",
+        ]
+        width = max((len(v.case) for v in self.verdicts), default=4)
+        for v in sorted(
+            self.verdicts, key=lambda v: (OUTCOMES.index(v.outcome), v.case)
+        ):
+            if v.median_baseline is not None:
+                detail = (
+                    f"median {v.median_current * 1e3:9.3f} ms vs "
+                    f"{v.median_baseline * 1e3:9.3f} ms "
+                    f"({v.shift:+7.1%}, p={v.p_value:.3f}, "
+                    f"n={v.current_n} vs {v.baseline_n} over "
+                    f"{v.baseline_runs} run(s))"
+                )
+            else:
+                detail = (
+                    f"n={v.current_n} current, {v.baseline_n} baseline "
+                    f"sample(s)"
+                )
+            lines.append(
+                f"  {v.outcome:<22} {v.case:<{width}}  {detail}"
+            )
+        counts: dict[str, int] = {}
+        for v in self.verdicts:
+            counts[v.outcome] = counts.get(v.outcome, 0) + 1
+        lines.append(
+            "summary: "
+            + ", ".join(
+                f"{counts[o]} {o}" for o in OUTCOMES if o in counts
+            )
+        )
+        if any(v.outcome == "host-mismatch" for v in self.verdicts):
+            lines.append(
+                "note: history exists but none of it was recorded on a "
+                "matching host; record a baseline on this host first"
+            )
+        return "\n".join(lines)
+
+
+def _same_run(record: dict[str, Any], current: dict[str, Any]) -> bool:
+    """True when a history record *is* the current document's run.
+
+    ``repro bench`` appends its own record before ``repro perf check``
+    runs, and comparing a run against itself would drag every verdict
+    toward neutral; identical per-case samples identify it exactly.
+    """
+    return {
+        c["case"]: c["samples"] for c in record.get("cases", ())
+    } == case_samples(current)
+
+
+def check_bench(
+    current: dict[str, Any],
+    history: Sequence[dict[str, Any]],
+    *,
+    fingerprint: dict[str, Any] | None = None,
+    alpha: float = 0.05,
+    min_shift: float = 0.10,
+    min_samples: int = 3,
+) -> CheckReport:
+    """Compare one bench document against the history baseline.
+
+    ``current`` is a bench v5+ ``BENCH_sweep.json`` document (its
+    ``samples`` arrays are the test's subject); ``history`` the parsed
+    record list from :func:`repro.obs.history.load_history`.
+    """
+    if min_samples < 1:
+        raise ValueError("min_samples must be at least 1")
+    fp = fingerprint if fingerprint is not None else host_fingerprint()
+    report = CheckReport(
+        fingerprint=fp,
+        history_runs=len(history),
+        alpha=alpha,
+        min_shift=min_shift,
+        min_samples=min_samples,
+    )
+    host_matched = [
+        r for r in history if fingerprints_match(r.get("host") or {}, fp)
+    ]
+    matched = [r for r in host_matched if not _same_run(r, current)]
+    report.matched_runs = len(matched)
+
+    baseline: dict[str, list[float]] = {}
+    baseline_runs: dict[str, int] = {}
+    for record in matched:
+        for case in record.get("cases", ()):
+            samples = [float(v) for v in case.get("samples", ())]
+            if not samples:
+                continue
+            baseline.setdefault(case["case"], []).extend(samples)
+            baseline_runs[case["case"]] = (
+                baseline_runs.get(case["case"], 0) + 1
+            )
+
+    for case, samples in sorted(case_samples(current).items()):
+        base = baseline.get(case, [])
+        if not history:
+            outcome = "no-history"
+        elif not host_matched:
+            # A history where the only comparable record is this very
+            # run is *thin*, not incomparable — that falls through to
+            # insufficient-history below.
+            outcome = "host-mismatch"
+        elif len(base) < min_samples:
+            outcome = "insufficient-history"
+        else:
+            med_cur = _median(samples)
+            med_base = _median(base)
+            shift = (med_cur - med_base) / med_base if med_base else 0.0
+            _, p = mann_whitney_u(samples, base)
+            if p < alpha and shift > min_shift:
+                outcome = "regression"
+            elif p < alpha and shift < -min_shift:
+                outcome = "improvement"
+            else:
+                outcome = "neutral"
+            report.verdicts.append(
+                CaseVerdict(
+                    case=case,
+                    outcome=outcome,
+                    current_n=len(samples),
+                    baseline_n=len(base),
+                    baseline_runs=baseline_runs.get(case, 0),
+                    median_current=med_cur,
+                    median_baseline=med_base,
+                    shift=shift,
+                    p_value=p,
+                )
+            )
+            continue
+        report.verdicts.append(
+            CaseVerdict(
+                case=case,
+                outcome=outcome,
+                current_n=len(samples),
+                baseline_n=len(base),
+                baseline_runs=baseline_runs.get(case, 0),
+            )
+        )
+    return report

@@ -5,38 +5,30 @@ prints (a) the provenance manifest, (b) the span tree with wall time,
 *self* time (wall minus the wall of direct children — where time was
 actually spent, not just passed through) and attributes, and (c) the
 top metrics.  Pure stdlib; tolerant of streams from newer minor
-versions (unknown events are skipped).
+versions (unknown events are skipped), of truncated final lines, and
+of concatenated runs — ingestion goes through
+:mod:`repro.obs.ingest`, shared with ``repro perf``, so every failure
+mode is a clear per-line error or a per-run split, never a raw
+``json.JSONDecodeError`` traceback.
 """
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 from typing import Any
+
+from repro.obs.ingest import TelemetryStreamError, load_stream
 
 __all__ = ["load_events", "render_trace", "main"]
 
 
 def load_events(path: str | Path) -> list[dict[str, Any]]:
-    """Parse one JSON object per line; raises ValueError on garbage."""
-    events = []
-    text = Path(path).read_text()
-    for lineno, line in enumerate(text.splitlines(), 1):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValueError(
-                f"{path}:{lineno}: not a JSON event line ({exc})"
-            ) from None
-        if not isinstance(event, dict) or "event" not in event:
-            raise ValueError(f"{path}:{lineno}: not a telemetry event")
-        events.append(event)
-    if not events:
-        raise ValueError(f"{path}: empty telemetry stream")
-    return events
+    """All events of a telemetry file; raises ValueError on garbage.
+
+    Kept as the single-stream convenience view; concatenated runs come
+    back merged (use :func:`repro.obs.ingest.load_runs` to split).
+    """
+    return load_stream(path).events
 
 
 def _fmt_ms(ns: int) -> str:
@@ -130,12 +122,22 @@ def render_trace(events: list[dict[str, Any]]) -> str:
 
 
 def main(path: str | Path) -> str:
-    """Load + render, with CLI-grade errors (``repro trace`` body)."""
+    """Load + render, with CLI-grade errors (``repro trace`` body).
+
+    A stream holding several concatenated runs renders each run in
+    order under a ``run k/N`` banner; ingestion warnings (truncated
+    final line, headerless prefix) are surfaced first.
+    """
     target = Path(path)
     if not target.is_file():
         raise SystemExit(f"repro trace: no such file: {target}")
     try:
-        events = load_events(target)
-    except ValueError as exc:
+        stream = load_stream(target)
+    except TelemetryStreamError as exc:
         raise SystemExit(f"repro trace: {exc}") from None
-    return render_trace(events)
+    parts = [f"warning: {w}" for w in stream.warnings]
+    for index, run in enumerate(stream.runs, 1):
+        if len(stream.runs) > 1:
+            parts.append(f"== run {index}/{len(stream.runs)} ==")
+        parts.append(render_trace(run))
+    return "\n".join(parts)

@@ -81,6 +81,16 @@ Bench v4 sections (the zero-copy fast path):
 
 ``host.peak_rss_kb`` records the benchmark process's own high-water
 resident set (``getrusage``) in every document.
+
+Bench v5 (the performance observatory): every timed case retains its
+raw per-repeat wall samples (``samples`` per case,
+``planner.samples`` per session path) next to the min-summary, and
+the document carries ``git_sha`` plus the planner session's
+provenance ``inputs_digest``.  Unless ``--no-history`` is given, the
+run appends one ``repro-bench-history/1`` record (host fingerprint +
+samples, see :mod:`repro.obs.history`) to ``--history`` —
+``BENCH_sweep.json`` stays the latest-run view while the history
+JSONL accumulates the trajectory ``repro perf check`` tests against.
 """
 
 from __future__ import annotations
@@ -93,7 +103,7 @@ import sys
 import tempfile
 import time
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = [
@@ -113,8 +123,14 @@ __all__ = [
 #: shared-memory pool crossover vs the configured auto threshold),
 #: ``incremental_front`` (streaming-vs-batch equivalence gate),
 #: ``host.peak_rss_kb``, and the ``--large`` million-point
-#: memory-mapped store section with its sub-linear peak-RSS gate.
-BENCH_VERSION = "repro-bench/4"
+#: memory-mapped store section with its sub-linear peak-RSS gate;
+#: ``/5`` retains the raw per-repeat wall samples (per-case
+#: ``samples`` and ``planner.samples``) plus ``git_sha`` and the
+#: planner session's provenance ``inputs_digest`` — the inputs of the
+#: bench history store and the Mann-Whitney regression sentinel
+#: (:mod:`repro.obs.history`, :mod:`repro.obs.sentinel`, ``repro perf
+#: check``).
+BENCH_VERSION = "repro-bench/5"
 
 #: CI gate: telemetry-on may cost at most this fraction over
 #: telemetry-off on the warm planner session case.
@@ -160,6 +176,10 @@ class BenchmarkCase:
     #: Path a ``mode="auto"`` engine chose for this grid ("serial" or
     #: "process-pool").
     auto_mode: str = "serial"
+    #: Raw per-repeat wall samples per backend (``scalar`` /
+    #: ``vectorized`` / ``parallel``) — the ``*_s`` summaries above
+    #: are their minima; the history store keeps the full arrays.
+    samples: dict[str, list[float]] = field(default_factory=dict)
 
     @property
     def speedup_vectorized(self) -> float:
@@ -184,6 +204,7 @@ class BenchmarkCase:
             "max_rel_deviation": self.max_rel_deviation,
             "jobs": self.jobs,
             "auto_mode": self.auto_mode,
+            "samples": self.samples,
         }
 
 
@@ -196,14 +217,21 @@ def _clear_sweep_memo() -> None:
     matmul_traffic.cache_clear()
 
 
-def _best_of(fn, repeats: int) -> float:
-    best = float("inf")
+def _samples_of(fn, repeats: int) -> list[float]:
+    """Every repeat's wall time — the raw material of the history
+    store; summary statistics (min for the latest-run view, medians
+    for the sentinel) are derived downstream, never stored alone."""
+    samples = []
     for _ in range(repeats):
         _clear_sweep_memo()
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        samples.append(time.perf_counter() - t0)
+    return samples
+
+
+def _best_of(fn, repeats: int) -> float:
+    return min(_samples_of(fn, repeats))
 
 
 def _bench_case(
@@ -231,10 +259,10 @@ def _bench_case(
         for s, v in zip(scalar, vectorized)
     )
 
-    scalar_s = _best_of(
+    scalar_samples = _samples_of(
         lambda: evaluate_chunk(spec, cal, n, configs), repeats
     )
-    vectorized_s = _best_of(
+    vectorized_samples = _samples_of(
         lambda: evaluate_configs_batch(spec, cal, n, configs), repeats
     )
     request = SweepRequest(device=spec, n=n, cal=cal)
@@ -246,6 +274,10 @@ def _bench_case(
     auto_engine.evaluate_configs(request, configs)
     auto_mode = auto_engine.stats.last_mode or "serial"
 
+    samples = {
+        "scalar": scalar_samples,
+        "vectorized": vectorized_samples,
+    }
     parallel_s = None
     if parallel:
         def run_parallel() -> None:
@@ -253,18 +285,20 @@ def _bench_case(
                 request, configs
             )
 
-        parallel_s = _best_of(run_parallel, repeats)
+        samples["parallel"] = _samples_of(run_parallel, repeats)
+        parallel_s = min(samples["parallel"])
 
     return BenchmarkCase(
         device=device,
         n=n,
         configs=len(configs),
-        scalar_s=scalar_s,
+        scalar_s=min(scalar_samples),
         parallel_s=parallel_s,
-        vectorized_s=vectorized_s,
+        vectorized_s=min(vectorized_samples),
         max_rel_deviation=max_dev,
         jobs=jobs,
         auto_mode=auto_mode,
+        samples=samples,
     )
 
 
@@ -312,13 +346,16 @@ def _bench_planner(sizes: Sequence[int], *, repeats: int) -> dict:
         with tempfile.TemporaryDirectory() as d:
             run_planner(d)
 
-    per_experiment_s = _best_of(per_experiment, repeats)
-    planner_cold_s = _best_of(cold, repeats)
+    per_experiment_samples = _samples_of(per_experiment, repeats)
+    cold_samples = _samples_of(cold, repeats)
 
     with tempfile.TemporaryDirectory() as d:
         stats = run_planner(d).stats  # fill once (also: dedup stats)
-        planner_warm_s = _best_of(lambda: run_planner(d), repeats)
+        warm_samples = _samples_of(lambda: run_planner(d), repeats)
 
+    per_experiment_s = min(per_experiment_samples)
+    planner_cold_s = min(cold_samples)
+    planner_warm_s = min(warm_samples)
     return {
         "devices": list(PLANNER_DEVICES),
         "sizes": list(sizes),
@@ -333,6 +370,11 @@ def _bench_planner(sizes: Sequence[int], *, repeats: int) -> dict:
         "planner_warm_s": planner_warm_s,
         "speedup_cold": per_experiment_s / planner_cold_s,
         "speedup_warm": per_experiment_s / planner_warm_s,
+        "samples": {
+            "per_experiment": per_experiment_samples,
+            "cold": cold_samples,
+            "warm": warm_samples,
+        },
     }
 
 
@@ -358,8 +400,14 @@ def _bench_telemetry(
     requests = _planner_requests(sizes)
     # The comparison is a ratio of two ~10 ms measurements; a single
     # noisy sample would dominate it, so floor the repeat count even
-    # under --quick.
-    repeats = max(5, repeats)
+    # under --quick, *interleave* the off/on runs pairwise so slow
+    # drift (CPU frequency, a co-tenant waking up) hits both sides
+    # equally, alternate which side runs first within each pair to
+    # cancel ordering bias, and gate on the *interquartile mean of
+    # the paired differences* — min-of-block ratios flickered past
+    # the 5% gate on 1-2 cpu CI runners because the two minima sample
+    # different noise floors.
+    repeats = max(51, repeats)
 
     def session(store_dir) -> None:
         planner = EvalPlanner(store_dir=store_dir)
@@ -372,16 +420,32 @@ def _bench_telemetry(
     try:
         with tempfile.TemporaryDirectory() as d:
             session(d)  # fill the store once: both paths measure warm
-            obs.set_telemetry(obs.Telemetry("off"))
-            off_s = _best_of(lambda: session(d), repeats)
 
-            def on_session() -> None:
-                # Fresh registry per run so recording cost, not list
-                # growth across runs, is what gets measured.
+            def timed_off() -> float:
+                obs.set_telemetry(obs.Telemetry("off"))
+                return _samples_of(lambda: session(d), 1)[0]
+
+            def timed_on() -> float:
+                # Fresh registry per on-run so recording cost, not
+                # list growth across runs, is what gets measured.
                 obs.set_telemetry(obs.Telemetry("summary"))
-                session(d)
+                return _samples_of(lambda: session(d), 1)[0]
 
-            on_s = _best_of(on_session, repeats)
+            offs, ons = [], []
+            for i in range(repeats):
+                if i % 2 == 0:
+                    offs.append(timed_off())
+                    ons.append(timed_on())
+                else:
+                    ons.append(timed_on())
+                    offs.append(timed_off())
+            obs.set_telemetry(obs.Telemetry("off"))
+            deltas = sorted(on - off for on, off in zip(ons, offs))
+            quarter = len(deltas) // 4
+            middle = deltas[quarter : len(deltas) - quarter]
+            delta_s = sum(middle) / len(middle)  # interquartile mean
+            off_s = sorted(offs)[len(offs) // 2]
+            on_s = off_s + delta_s
             if jsonl_path is not None:
                 tel = obs.set_telemetry(obs.Telemetry("jsonl", jsonl_path))
                 tel.set_manifest(
@@ -633,6 +697,8 @@ def run_benchmark(
         raise ValueError("repeats must be at least 1")
     if jobs is None:
         jobs = min(8, os.cpu_count() or 1)
+    from repro.obs.provenance import git_revision, requests_digest
+
     cases = [
         _bench_case(device, n, repeats=repeats, jobs=jobs, parallel=parallel)
         for n in sizes
@@ -645,6 +711,11 @@ def run_benchmark(
             "cpus": os.cpu_count(),
         },
         "repeats": repeats,
+        # What produced these numbers: the checkout and the planner
+        # session's input identity (the history store records both, so
+        # a timing shift can be tied to a code or an input change).
+        "git_sha": git_revision(),
+        "inputs_digest": requests_digest(_planner_requests(sizes)),
         "cases": [c.as_dict() for c in cases],
     }
     if crossover:
@@ -837,9 +908,25 @@ def add_bench_flags(parser: argparse.ArgumentParser) -> None:
         "--telemetry-output", default=None, metavar="FILE",
         help=(
             "where to write the planner session's telemetry event "
-            "stream (`repro trace` input; CI uploads it as an "
-            "artifact; default: BENCH_telemetry.jsonl next to --output)"
+            "stream (`repro trace` / `repro perf` input; CI uploads "
+            "it as an artifact; default: benchmarks/BENCH_telemetry."
+            "jsonl when a benchmarks/ directory sits next to "
+            "--output, else next to --output)"
         ),
+    )
+    from repro.obs.history import DEFAULT_HISTORY_PATH
+
+    parser.add_argument(
+        "--history", default=str(DEFAULT_HISTORY_PATH), metavar="FILE",
+        help=(
+            "append this run (host fingerprint + raw wall samples) to "
+            "a repro-bench-history/1 JSONL — the `repro perf check` "
+            "baseline (default: benchmarks/history/bench_history.jsonl)"
+        ),
+    )
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the bench history store",
     )
 
 
@@ -853,8 +940,14 @@ def run_from_args(args: argparse.Namespace) -> int:
     """
     telemetry_jsonl = args.telemetry_output
     if telemetry_jsonl is None:
+        # Generated artifact — keep it under benchmarks/ (gitignored)
+        # when run from a checkout, not loose in the repo root.
+        out_dir = Path(args.output).parent
+        bench_dir = out_dir / "benchmarks"
         telemetry_jsonl = str(
-            Path(args.output).parent / "BENCH_telemetry.jsonl"
+            bench_dir / "BENCH_telemetry.jsonl"
+            if bench_dir.is_dir()
+            else out_dir / "BENCH_telemetry.jsonl"
         )
     doc = run_benchmark(
         device=args.device,
@@ -870,6 +963,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     Path(args.output).write_text(json.dumps(doc, indent=2) + "\n")
     print(format_results(doc))
     print(f"\nwrote {args.output}")
+    if not args.no_history:
+        from repro.obs.history import append_record, history_record
+
+        target = append_record(args.history, history_record(doc))
+        print(f"appended history record to {target}")
 
     failed = False
     slow = [

@@ -80,14 +80,15 @@ class TestEngineFlags:
 class TestBenchCommand:
     def test_bench_quick_writes_document(self, tmp_path, capsys):
         out = tmp_path / "BENCH_sweep.json"
+        history = tmp_path / "history" / "bench_history.jsonl"
         assert main(
             ["bench", "--quick", "--sizes", "1024",
-             "--output", str(out)]
+             "--output", str(out), "--history", str(history)]
         ) == 0
         import json
 
         doc = json.loads(out.read_text())
-        assert doc["version"] == "repro-bench/4"
+        assert doc["version"] == "repro-bench/5"
         (case,) = doc["cases"]
         assert case["device"] == "p100" and case["n"] == 1024
         assert case["configs"] == 146
@@ -111,6 +112,22 @@ class TestBenchCommand:
         assert incremental["front_size"] > 0
         assert "large" not in doc  # million-point case is opt-in
         assert doc["host"]["peak_rss_kb"] > 0
+        # Bench v5: raw per-repeat samples + provenance for the
+        # history store and the regression sentinel.
+        assert case["samples"]["vectorized"]
+        assert min(case["samples"]["vectorized"]) == case["vectorized_s"]
+        assert planner["samples"]["warm"]
+        # 40-hex sha, possibly "-dirty"; empty outside a checkout.
+        assert len(doc["git_sha"]) == 0 or doc["git_sha"][:40].isalnum()
+        assert len(doc["inputs_digest"]) == 64
+        # ... and the run appended one history record.
+        from repro.obs.history import load_history
+
+        (record,) = load_history(history)
+        assert record["format"] == "repro-bench-history/1"
+        assert any(
+            c["case"] == "planner/warm" for c in record["cases"]
+        )
         assert "vectorized" in capsys.readouterr().out
 
     def test_sweep_with_cache_dir_populates_cache(self, tmp_path, capsys):

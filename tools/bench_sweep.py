@@ -19,6 +19,12 @@ serial above the auto threshold (multi-core hosts only), the
 incremental front diverging from the batch kernel, telemetry overhead
 above its limit, or partial mapped-shard lookups dragging whole
 shards into resident memory.
+
+Every run also appends one ``repro-bench-history/1`` record (host
+fingerprint + raw per-repeat samples) to
+``benchmarks/history/bench_history.jsonl`` — the baseline ``repro
+perf check`` tests later runs against; ``--history PATH`` redirects
+it, ``--no-history`` skips it.
 """
 
 from __future__ import annotations
